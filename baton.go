@@ -1,0 +1,295 @@
+// Package nnbaton is a Go implementation of NN-Baton (Tan et al., ISCA
+// 2021): an analytical framework and automatic tool for DNN workload
+// orchestration and chiplet-granularity exploration on multichip
+// accelerators.
+//
+// The tool models a three-level accelerator (package → chiplet → core),
+// describes layer mappings with spatial/temporal/rotating primitives,
+// evaluates memory traffic with the C³P (Critical-Capacity
+// Critical-Position) methodology, and offers two flows:
+//
+//   - the post-design flow maps a DNN onto a fixed hardware configuration
+//     with the per-layer optimal strategy (MapLayer, MapModel);
+//   - the pre-design flow explores the hardware space of Table II under MAC
+//     and area budgets to pick the chiplet granularity and the memory
+//     allocation (Granularity, Explore).
+//
+// Quickstart:
+//
+//	tool := nnbaton.New()
+//	rep, err := tool.MapModel(nnbaton.VGG16(224), nnbaton.CaseStudyHardware())
+//	if err != nil { ... }
+//	fmt.Printf("energy %.2f mJ in %.2f ms\n", rep.Energy.Total()/1e9, rep.Seconds*1e3)
+package nnbaton
+
+import (
+	"fmt"
+
+	"nnbaton/internal/c3p"
+	"nnbaton/internal/dse"
+	"nnbaton/internal/energy"
+	"nnbaton/internal/fab"
+	"nnbaton/internal/hardware"
+	"nnbaton/internal/mapper"
+	"nnbaton/internal/mapping"
+	"nnbaton/internal/pipeline"
+	"nnbaton/internal/simba"
+	"nnbaton/internal/workload"
+)
+
+// Re-exported core types. See the internal packages for full method
+// documentation.
+type (
+	// Layer is one convolution (or point-wise-reorganized FC) workload.
+	Layer = workload.Layer
+	// Model is an ordered list of layers at one input resolution.
+	Model = workload.Model
+	// Hardware is a three-level accelerator configuration (Table II point).
+	Hardware = hardware.Config
+	// Breakdown is a per-component energy breakdown in pJ.
+	Breakdown = energy.Breakdown
+	// Traffic is a per-level memory access record.
+	Traffic = c3p.Traffic
+	// Space is the Table II exploration space.
+	Space = dse.Space
+	// DesignPoint is one evaluated hardware implementation.
+	DesignPoint = dse.Point
+	// LayerMapping is the full mapping description of one layer (spatial,
+	// temporal and rotating primitives plus tile sizes).
+	LayerMapping = mapping.Mapping
+	// Process is a fabrication cost structure for the manufacturing-cost
+	// extension (internal/fab).
+	Process = fab.Process
+	// CostedPoint pairs a design point with its manufacturing cost.
+	CostedPoint = dse.CostedPoint
+)
+
+// DefaultProcess returns the 16 nm-class fabrication cost structure used by
+// the manufacturing-cost extension.
+func DefaultProcess() Process { return fab.TSMC16Like() }
+
+// Model zoo constructors (§V-B benchmarks).
+var (
+	// AlexNet builds AlexNet at a given input resolution.
+	AlexNet = workload.AlexNet
+	// VGG16 builds VGG-16 at a given input resolution.
+	VGG16 = workload.VGG16
+	// ResNet50 builds ResNet-50 at a given input resolution.
+	ResNet50 = workload.ResNet50
+	// DarkNet19 builds DarkNet-19 at a given input resolution.
+	DarkNet19 = workload.DarkNet19
+	// MobileNetV2 builds MobileNetV2 (grouped-convolution extension) at a
+	// given input resolution.
+	MobileNetV2 = workload.MobileNetV2
+	// YOLOv2 builds the YOLOv2 detection network (DarkNet-19 backbone +
+	// detection head) — the detection workload behind the paper's 512×512
+	// input resolution.
+	YOLOv2 = workload.YOLOv2
+	// ParseModel reads a custom model from the text description format of
+	// internal/workload.Parse.
+	ParseModel = workload.Parse
+)
+
+// CaseStudyHardware returns the §VI-A configuration: 4 chiplets, 8 cores,
+// 8 lanes of 8-size vector MAC, 1.5 KB O-L1, 800 B A-L1, 18 KB W-L1,
+// 64 KB A-L2.
+func CaseStudyHardware() Hardware { return hardware.CaseStudy() }
+
+// TableIISpace returns the full Table II design space.
+func TableIISpace() Space { return dse.TableII() }
+
+// Baton is the NN-Baton automatic tool (Fig 9): it bundles the C³P
+// evaluation engine with the fitted 16 nm cost model.
+type Baton struct {
+	cm *hardware.CostModel
+}
+
+// New builds the tool with the default 16 nm cost model.
+func New() *Baton { return &Baton{cm: hardware.MustCostModel()} }
+
+// LayerReport is the post-design result for one layer.
+type LayerReport struct {
+	Layer    Layer
+	Mapping  string       // human-readable mapping strategy
+	Strategy LayerMapping // machine-readable mapping (see internal/strategy)
+	Energy   Breakdown
+	Traffic  Traffic
+	Seconds  float64
+	Cycles   int64
+}
+
+// ModelReport aggregates the post-design flow over a model.
+type ModelReport struct {
+	Model   string
+	Layers  []LayerReport
+	Energy  Breakdown
+	Seconds float64
+	Skipped []string
+}
+
+// MapLayer runs the post-design flow for one layer: the exhaustive search
+// over spatial/temporal primitives, patterns and tile sizes, returning the
+// minimum-energy mapping.
+func (b *Baton) MapLayer(l Layer, hw Hardware) (LayerReport, error) {
+	opt, err := mapper.Search(l, hw, b.cm, mapper.Config{})
+	if err != nil {
+		return LayerReport{}, err
+	}
+	return LayerReport{
+		Layer:    l,
+		Mapping:  opt.Analysis.Map.String(),
+		Strategy: opt.Analysis.Map,
+		Energy:   opt.Energy,
+		Traffic:  opt.Analysis.Traffic(),
+		Seconds:  hardware.Seconds(opt.Cycles),
+		Cycles:   opt.Cycles,
+	}, nil
+}
+
+// MapModel runs the post-design flow for every layer of a model with the
+// per-layer optimal strategy.
+func (b *Baton) MapModel(m Model, hw Hardware) (ModelReport, error) {
+	res, err := mapper.SearchModel(m, hw, b.cm, mapper.Config{})
+	if err != nil {
+		return ModelReport{}, err
+	}
+	rep := ModelReport{Model: m.Name, Energy: res.Energy,
+		Seconds: hardware.Seconds(res.Cycles), Skipped: res.Skipped}
+	for _, o := range res.Layers {
+		rep.Layers = append(rep.Layers, LayerReport{
+			Layer:    o.Analysis.Layer,
+			Mapping:  o.Analysis.Map.String(),
+			Strategy: o.Analysis.Map,
+			Energy:   o.Energy,
+			Traffic:  o.Analysis.Traffic(),
+			Seconds:  hardware.Seconds(o.Cycles),
+			Cycles:   o.Cycles,
+		})
+	}
+	return rep, nil
+}
+
+// SpatialComboStudy returns the best mapping for each (package, chiplet)
+// spatial partition pair, keyed like "(C,H)" — the per-layer study of
+// Fig 11. Combos with no valid mapping are omitted.
+func (b *Baton) SpatialComboStudy(l Layer, hw Hardware) map[string]LayerReport {
+	out := make(map[string]LayerReport)
+	for combo, o := range mapper.BestPerSpatialCombo(l, hw, b.cm) {
+		out[combo] = LayerReport{
+			Layer:    o.Analysis.Layer,
+			Mapping:  o.Analysis.Map.String(),
+			Strategy: o.Analysis.Map,
+			Energy:   o.Energy,
+			Traffic:  o.Analysis.Traffic(),
+			Seconds:  hardware.Seconds(o.Cycles),
+			Cycles:   o.Cycles,
+		}
+	}
+	return out
+}
+
+// Comparison is a Simba-vs-NN-Baton result (Fig 12/13).
+type Comparison struct {
+	Model        string
+	Simba        Breakdown
+	NNBaton      Breakdown
+	SavingsRatio float64 // 1 − NNBaton/Simba
+}
+
+// CompareSimba evaluates a model under both the Simba weight-centric
+// baseline and NN-Baton's output-centric optimal mappings on identical
+// computation and memory resources.
+func (b *Baton) CompareSimba(m Model, hw Hardware) (Comparison, error) {
+	st, _, err := simba.EvaluateModel(m, hw, simba.DefaultGrid(hw))
+	if err != nil {
+		return Comparison{}, err
+	}
+	simbaE := energy.FromTraffic(st, hw, b.cm)
+	res, err := mapper.SearchModel(m, hw, b.cm, mapper.Config{})
+	if err != nil {
+		return Comparison{}, err
+	}
+	if len(res.Skipped) > 0 {
+		return Comparison{}, fmt.Errorf("nnbaton: %d layers unmappable on %s", len(res.Skipped), hw.Tuple())
+	}
+	return Comparison{
+		Model:        m.Name,
+		Simba:        simbaE,
+		NNBaton:      res.Energy,
+		SavingsRatio: 1 - res.Energy.Total()/simbaE.Total(),
+	}, nil
+}
+
+// FusionReport is the result of the inter-layer fusion extension study.
+type FusionReport struct {
+	Model      string
+	Groups     int
+	FusedEdges int
+	Unfused    Breakdown // per-layer optimal mappings, DRAM round trips
+	Fused      Breakdown // same mappings with fused intermediates on A-L2
+	SavedDRAM  int64     // bytes kept on-package
+}
+
+// FusionStudy maps a model layer-wise, then applies the inter-layer fusion
+// extension (internal/pipeline): consecutive layers whose intermediate
+// feature map fits the aggregate A-L2 keep it on-package. The unfused
+// breakdown reproduces the paper's layer-wise evaluation.
+func (b *Baton) FusionStudy(m Model, hw Hardware) (FusionReport, error) {
+	res, err := mapper.SearchModel(m, hw, b.cm, mapper.Config{})
+	if err != nil {
+		return FusionReport{}, err
+	}
+	// Align per-layer traffic with the model's layer list; unmappable
+	// layers contribute empty records and never fuse usefully.
+	perLayer := make([]c3p.Traffic, len(m.Layers))
+	byName := make(map[string]c3p.Traffic, len(res.Layers))
+	for _, o := range res.Layers {
+		byName[o.Analysis.Layer.Name] = o.Analysis.Traffic()
+	}
+	for i, l := range m.Layers {
+		perLayer[i] = byName[l.Name]
+	}
+	sch, err := pipeline.Plan(m, hw)
+	if err != nil {
+		return FusionReport{}, err
+	}
+	sv, fused, err := pipeline.Evaluate(sch, perLayer)
+	if err != nil {
+		return FusionReport{}, err
+	}
+	rep := FusionReport{
+		Model: m.Name, Groups: len(sch.Groups), FusedEdges: sch.FusedEdges(),
+		SavedDRAM: sv.SavedDRAMBytes,
+	}
+	for i := range perLayer {
+		rep.Unfused = rep.Unfused.Add(energy.FromTraffic(perLayer[i], hw, b.cm))
+		rep.Fused = rep.Fused.Add(energy.FromTraffic(fused[i], hw, b.cm))
+	}
+	return rep, nil
+}
+
+// Granularity runs the Fig 14 chiplet-granularity study: every compute
+// allocation of totalMACs with proportional memory, reporting energy,
+// runtime and area per implementation.
+func (b *Baton) Granularity(m Model, totalMACs int, areaLimitMM2 float64) (dse.GranularityResult, error) {
+	return dse.Granularity(m, dse.TableII(), totalMACs, areaLimitMM2, hardware.DefaultProportion(), b.cm)
+}
+
+// Explore runs the Fig 15 full pre-design sweep: compute × memory
+// allocations of Table II under an area constraint.
+func (b *Baton) Explore(m Model, totalMACs int, areaLimitMM2 float64) (dse.ExploreResult, error) {
+	return dse.Explore(m, dse.TableII(), totalMACs, areaLimitMM2, b.cm)
+}
+
+// ExploreIn is Explore over a custom (e.g. reduced) space.
+func (b *Baton) ExploreIn(m Model, space Space, totalMACs int, areaLimitMM2 float64) (dse.ExploreResult, error) {
+	return dse.Explore(m, space, totalMACs, areaLimitMM2, b.cm)
+}
+
+// GranularityIn is Granularity over a custom space.
+func (b *Baton) GranularityIn(m Model, space Space, totalMACs int, areaLimitMM2 float64) (dse.GranularityResult, error) {
+	return dse.Granularity(m, space, totalMACs, areaLimitMM2, hardware.DefaultProportion(), b.cm)
+}
+
+// ChipletAreaMM2 returns the modeled silicon area of one chiplet.
+func (b *Baton) ChipletAreaMM2(hw Hardware) float64 { return b.cm.ChipletAreaMM2(hw) }

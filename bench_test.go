@@ -1,0 +1,295 @@
+// Benchmark harness: one testing.B per table and figure of the paper's
+// evaluation (see the experiment index in DESIGN.md). Each benchmark
+// exercises the code path that regenerates the artifact; the heavyweight
+// sweeps (Fig 13–15) run on representative subsets so the whole suite
+// completes in minutes — the full-scale runs live in cmd/experiments.
+package nnbaton
+
+import (
+	"testing"
+
+	"nnbaton/internal/c3p"
+	"nnbaton/internal/dse"
+	"nnbaton/internal/energy"
+	"nnbaton/internal/functional"
+	"nnbaton/internal/halo"
+	"nnbaton/internal/hardware"
+	"nnbaton/internal/mapper"
+	"nnbaton/internal/mapping"
+	"nnbaton/internal/simba"
+	"nnbaton/internal/workload"
+)
+
+var benchCM = hardware.MustCostModel()
+
+// BenchmarkTable1EnergyModel prices a traffic record through the Table I
+// cost model.
+func BenchmarkTable1EnergyModel(b *testing.B) {
+	tr := c3p.Traffic{
+		DRAMActReads: 1 << 20, DRAMWtReads: 1 << 21, DRAMOutWrites: 1 << 18,
+		D2DActs: 1 << 19, AL2Writes: 1 << 20, AL2Reads: 1 << 21,
+		AL1Writes: 1 << 20, AL1Reads: 1 << 24, WL1Writes: 1 << 19, WL1Reads: 1 << 22,
+		OL2Writes: 1 << 18, OL2Reads: 1 << 18, OL1RMW: 1 << 23, MACs: 1 << 26,
+	}
+	hw := hardware.CaseStudy()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		br := energy.FromTraffic(tr, hw, benchCM)
+		if br.Total() <= 0 {
+			b.Fatal("bad breakdown")
+		}
+	}
+}
+
+// BenchmarkTable2SpaceEnum enumerates the Table II compute allocations.
+func BenchmarkTable2SpaceEnum(b *testing.B) {
+	s := dse.TableII()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(s.ComputeConfigs(2048))+len(s.ComputeConfigs(4096)) == 0 {
+			b.Fatal("empty space")
+		}
+	}
+}
+
+// BenchmarkFig7HaloPatterns sweeps tile sizes for the two Fig 7 layers and
+// both aspect ratios.
+func BenchmarkFig7HaloPatterns(b *testing.B) {
+	rn, err := workload.ResNet50(512).Layer("conv1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	vgg, err := workload.VGG16(512).Layer("conv3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	elems := []int{4, 16, 64, 256, 1024, 4096}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, l := range []workload.Layer{rn, vgg} {
+			halo.RedundancySeries(l, elems, 1, 1)
+			halo.RedundancySeries(l, elems, 1, 4)
+		}
+	}
+}
+
+// BenchmarkFig8PackagePattern measures the square-vs-rectangle conflict
+// analysis over the package-level planar split.
+func BenchmarkFig8PackagePattern(b *testing.B) {
+	l, err := workload.VGG16(512).Layer("conv1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, p := range []mapping.Pattern{{Rows: 2, Cols: 2}, {Rows: 1, Cols: 4}} {
+			if halo.MaxConflict(l, p) == 0 {
+				b.Fatal("no conflicts computed")
+			}
+			halo.DuplicatedBytes(l, p)
+		}
+	}
+}
+
+// BenchmarkFig10MemoryModel fits the linear memory model from the macro
+// libraries.
+func BenchmarkFig10MemoryModel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := hardware.NewCostModel(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11SpatialPartitions runs the per-combo mapping study on the
+// common representative layer.
+func BenchmarkFig11SpatialPartitions(b *testing.B) {
+	l, err := workload.ResNet50(224).Layer("res2a_branch2b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	hw := hardware.CaseStudy()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(mapper.BestPerSpatialCombo(l, hw, benchCM)) == 0 {
+			b.Fatal("no combos")
+		}
+	}
+}
+
+// BenchmarkFig12SimbaLayers compares Simba and NN-Baton on one layer.
+func BenchmarkFig12SimbaLayers(b *testing.B) {
+	l, err := workload.VGG16(224).Layer("conv12")
+	if err != nil {
+		b.Fatal(err)
+	}
+	hw := hardware.CaseStudy()
+	g := simba.DefaultGrid(hw)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sr, err := simba.Evaluate(l, hw, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt, err := mapper.Search(l, hw, benchCM, mapper.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if opt.Energy.Total() >= energy.FromTraffic(sr.Traffic, hw, benchCM).Total() {
+			b.Fatal("NN-Baton lost to Simba")
+		}
+	}
+}
+
+// BenchmarkFig13SimbaModels runs the model-level comparison on AlexNet.
+func BenchmarkFig13SimbaModels(b *testing.B) {
+	tool := New()
+	m := AlexNet(224)
+	hw := CaseStudyHardware()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cmp, err := tool.CompareSimba(m, hw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cmp.SavingsRatio <= 0 {
+			b.Fatal("no savings")
+		}
+	}
+}
+
+// benchSpace is a reduced Table II used by the sweep benchmarks.
+func benchSpace() dse.Space {
+	return dse.Space{
+		Vector: []int{8}, Lanes: []int{8, 16}, Cores: []int{2, 4, 8}, Chiplets: []int{1, 2, 4, 8},
+		OL1PerLane: []int{144}, AL1: []int{1024, 4096}, WL1: []int{16384, 65536}, AL2: []int{65536},
+	}
+}
+
+// BenchmarkFig14Granularity runs the chiplet-granularity study on AlexNet
+// over a reduced space.
+func BenchmarkFig14Granularity(b *testing.B) {
+	m := AlexNet(224)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := dse.Granularity(m, benchSpace(), 1024, 2.0, hardware.DefaultProportion(), benchCM)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Points) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// BenchmarkFig15FullDSE runs the compute x memory sweep on AlexNet over a
+// reduced space.
+func BenchmarkFig15FullDSE(b *testing.B) {
+	m := AlexNet(224)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := dse.Explore(m, benchSpace(), 1024, 3.0, benchCM)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Swept == 0 {
+			b.Fatal("nothing swept")
+		}
+	}
+}
+
+// BenchmarkAblationRotation measures the mapping search with the rotating
+// transfer disabled — the ablation called out in DESIGN.md.
+func BenchmarkAblationRotation(b *testing.B) {
+	l, err := workload.VGG16(224).Layer("conv3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	hw := hardware.CaseStudy()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		with, err := mapper.Search(l, hw, benchCM, mapper.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		without, err := mapper.Search(l, hw, benchCM, mapper.Config{DisableRotation: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if with.Energy.Total() > without.Energy.Total() {
+			b.Fatal("rotation hurt energy")
+		}
+	}
+}
+
+// BenchmarkC3PAnalyze measures the core analytical engine on a single
+// mapping — the unit of work every sweep multiplies.
+func BenchmarkC3PAnalyze(b *testing.B) {
+	l, err := workload.VGG16(224).Layer("conv5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	hw := hardware.CaseStudy()
+	m := mapping.Mapping{
+		PackageSpatial: mapping.SpatialC, PackageTemporal: mapping.ChannelPriority,
+		ChipletSpatial: mapping.SpatialC, ChipletCSplit: 8, ChipletPattern: mapping.Pattern{Rows: 1, Cols: 1},
+		ChipletTemporal: mapping.PlanePriority,
+		HOt:             14, WOt: 14, COt: 64, HOc: 4, WOc: 4, Rotate: true,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a, err := c3p.Analyze(l, hw, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.Traffic().DRAMActReads == 0 {
+			b.Fatal("no traffic")
+		}
+	}
+}
+
+// BenchmarkAblationGreedySearch compares the heuristic single-shot mapper
+// against the exhaustive search — the search-quality-vs-cost ablation.
+func BenchmarkAblationGreedySearch(b *testing.B) {
+	l, err := workload.VGG16(224).Layer("conv8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	hw := hardware.CaseStudy()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := mapper.SearchGreedy(l, hw, benchCM)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.Energy.Total() <= 0 {
+			b.Fatal("degenerate greedy mapping")
+		}
+	}
+}
+
+// BenchmarkFunctionalExecution measures the bit-exact mapped execution used
+// to validate mapping semantics.
+func BenchmarkFunctionalExecution(b *testing.B) {
+	l := workload.Layer{Model: "b", Name: "conv", HO: 20, WO: 20, CO: 64, CI: 16,
+		R: 3, S: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	hw := hardware.CaseStudy()
+	opt, err := mapper.Search(l, hw, benchCM, mapper.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, w := functional.Fill(l, 42)
+	ref := functional.Reference(l, in, w)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		got, err := functional.ExecuteMapped(l, hw, opt.Analysis.Map, in, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if functional.Equal(ref, got) != nil {
+			b.Fatal("functional mismatch")
+		}
+	}
+}

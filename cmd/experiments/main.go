@@ -1,0 +1,48 @@
+// Command experiments regenerates every table and figure of the NN-Baton
+// paper evaluation as text tables (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	experiments -exp fig11        # one experiment
+//	experiments -exp all -quick   # everything, reduced workloads
+//	experiments -list             # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nnbaton/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (or 'all')")
+	quick := flag.Bool("quick", false, "reduced workloads for a fast pass")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+	ran := 0
+	for _, e := range all {
+		if *exp != "all" && e.ID != *exp {
+			continue
+		}
+		fmt.Printf("### %s — %s\n\n", e.ID, e.Desc)
+		if err := e.Run(os.Stdout, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,125 @@
+// Command nnbaton-dse runs the pre-design flow: given a target model, a MAC
+// budget and a chiplet area constraint, it explores the Table II hardware
+// space and recommends the chiplet granularity and resource allocation
+// (§IV-D, §VI-B).
+//
+// Usage:
+//
+//	nnbaton-dse -model vgg16 -macs 2048 -area 2 -mode granularity
+//	nnbaton-dse -model resnet50 -res 512 -macs 4096 -area 3 -mode explore
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"nnbaton"
+	"nnbaton/internal/report"
+	"nnbaton/internal/workload"
+)
+
+func main() {
+	var (
+		model = flag.String("model", "vgg16", "model name (see workload.Load) or .txt description file")
+		res   = flag.Int("res", 224, "input resolution (224 or 512)")
+		macs  = flag.Int("macs", 2048, "total MAC budget")
+		area  = flag.Float64("area", 2.0, "chiplet area constraint in mm² (0 = unconstrained)")
+		mode  = flag.String("mode", "granularity", "granularity | explore | cost")
+	)
+	flag.Parse()
+	if err := run(*model, *res, *macs, *area, *mode); err != nil {
+		fmt.Fprintln(os.Stderr, "nnbaton-dse:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelName string, res, macs int, area float64, mode string) error {
+	m, err := workload.Load(modelName, res)
+	if err != nil {
+		return err
+	}
+	tool := nnbaton.New()
+	switch mode {
+	case "granularity":
+		return granularity(tool, m, macs, area)
+	case "explore":
+		return explore(tool, m, macs, area)
+	case "cost":
+		return cost(tool, m, macs, area)
+	}
+	return fmt.Errorf("unknown mode %q (granularity|explore|cost)", mode)
+}
+
+// cost runs the granularity study and prices every implementation under the
+// default fabrication process (the manufacturing-cost extension).
+func cost(tool *nnbaton.Baton, m nnbaton.Model, macs int, area float64) error {
+	res, err := tool.Granularity(m, macs, area)
+	if err != nil {
+		return err
+	}
+	t := report.New(fmt.Sprintf("Manufacturing cost for %s, %d MACs", m.Name, macs),
+		"tuple", "area mm2", "die yield", "silicon $", "assembly $", "total $", "EDP pJ*s")
+	costed := res.WithCosts(nnbaton.DefaultProcess())
+	sort.Slice(costed, func(i, j int) bool { return costed[i].Cost.TotalUSD < costed[j].Cost.TotalUSD })
+	for _, cp := range costed {
+		if cp.MappedLayers == 0 {
+			continue
+		}
+		t.Add(cp.HW.Tuple(), fmt.Sprintf("%.2f", cp.ChipletAreaMM2),
+			report.Pct(cp.Cost.DieYield),
+			fmt.Sprintf("%.2f", cp.Cost.SiliconUSD), fmt.Sprintf("%.2f", cp.Cost.AssemblyUSD),
+			fmt.Sprintf("%.2f", cp.Cost.TotalUSD), fmt.Sprintf("%.3g", cp.EDP()))
+	}
+	return t.Render(os.Stdout)
+}
+
+func granularity(tool *nnbaton.Baton, m nnbaton.Model, macs int, area float64) error {
+	res, err := tool.Granularity(m, macs, area)
+	if err != nil {
+		return err
+	}
+	t := report.New(fmt.Sprintf("Chiplet granularity for %s, %d MACs, %.1f mm² limit", m.Name, macs, area),
+		"tuple", "energy uJ", "runtime ms", "EDP pJ*s", "area mm2", "feasible")
+	sort.Slice(res.Points, func(i, j int) bool { return res.Points[i].EDP() < res.Points[j].EDP() })
+	for _, p := range res.Points {
+		if p.MappedLayers == 0 {
+			continue
+		}
+		t.Add(p.HW.Tuple(), report.UJ(p.Energy.Total()), report.MS(p.Seconds),
+			fmt.Sprintf("%.3g", p.EDP()), fmt.Sprintf("%.2f", p.ChipletAreaMM2),
+			fmt.Sprint(p.MeetsArea))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if best, ok := res.BestEDP(); ok {
+		fmt.Printf("recommended: %s (%s)\n", best.HW.Tuple(), best)
+	} else {
+		fmt.Println("no implementation meets the area constraint")
+	}
+	return nil
+}
+
+func explore(tool *nnbaton.Baton, m nnbaton.Model, macs int, area float64) error {
+	res, err := tool.Explore(m, macs, area)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("swept %d points, %d valid, %d on the area/EDP Pareto front\n\n",
+		res.Swept, len(res.Points), len(res.ParetoFront()))
+	t := report.New("Pareto front (area vs EDP)", "tuple", "memory", "EDP pJ*s", "area mm2")
+	front := res.ParetoFront()
+	sort.Slice(front, func(i, j int) bool { return front[i].ChipletAreaMM2 < front[j].ChipletAreaMM2 })
+	for _, p := range front {
+		t.Add(p.HW.Tuple(), p.HW.String(), fmt.Sprintf("%.3g", p.EDP()), fmt.Sprintf("%.2f", p.ChipletAreaMM2))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if res.HasBest {
+		fmt.Printf("recommended under %.1f mm²: %s\n", area, res.Best.HW)
+	}
+	return nil
+}

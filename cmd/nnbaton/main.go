@@ -1,0 +1,193 @@
+// Command nnbaton runs the post-design flow: it maps a DNN model onto a
+// fixed multichip hardware configuration with the per-layer optimal
+// spatial/temporal strategy and reports energy, runtime and the mapping
+// decisions (§IV-D).
+//
+// Usage:
+//
+//	nnbaton -model vgg16 -res 224                 # case-study hardware
+//	nnbaton -model resnet50 -chiplets 2 -cores 8 -lanes 16 -vector 16
+//	nnbaton -model vgg16 -layer conv12 -simba     # one layer + baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nnbaton"
+	"nnbaton/internal/c3p"
+	"nnbaton/internal/energy"
+	"nnbaton/internal/hardware"
+	"nnbaton/internal/report"
+	"nnbaton/internal/sim"
+	"nnbaton/internal/simba"
+	"nnbaton/internal/strategy"
+	"nnbaton/internal/workload"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "vgg16", "model: alexnet|vgg16|resnet50|darknet19|mobilenetv2, or a .txt description file")
+		res      = flag.Int("res", 224, "input resolution (224 or 512)")
+		layer    = flag.String("layer", "", "map a single named layer instead of the whole model")
+		withSim  = flag.Bool("simba", false, "also evaluate the Simba weight-centric baseline")
+		chiplets = flag.Int("chiplets", 0, "override: chiplets per package")
+		cores    = flag.Int("cores", 0, "override: cores per chiplet")
+		lanes    = flag.Int("lanes", 0, "override: lanes per core")
+		vector   = flag.Int("vector", 0, "override: vector-MAC size")
+		out      = flag.String("o", "", "write the mapping strategy to this JSON file")
+		trace    = flag.Bool("trace", false, "with -layer: run the discrete-event trace and print a pipeline timeline")
+		load     = flag.String("load", "", "load and reprice a strategy JSON file instead of searching")
+	)
+	flag.Parse()
+	if *load != "" {
+		if err := reprice(*load); err != nil {
+			fmt.Fprintln(os.Stderr, "nnbaton:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*model, *res, *layer, *withSim, *trace, *chiplets, *cores, *lanes, *vector, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "nnbaton:", err)
+		os.Exit(1)
+	}
+}
+
+// reprice loads a strategy file, re-validates every mapping and re-runs the
+// C³P evaluation on it.
+func reprice(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sf, err := strategy.Read(f)
+	if err != nil {
+		return err
+	}
+	tr, err := strategy.Reprice(sf)
+	if err != nil {
+		return err
+	}
+	cm := hardware.MustCostModel()
+	br := energy.FromTraffic(tr, sf.Hardware, cm)
+	fmt.Printf("strategy %s@%d on %s: %d layers, %.2f mJ\n  %v\n",
+		sf.Model, sf.Input, sf.Hardware.Tuple(), len(sf.Layers), br.Total()/1e9, br)
+	return nil
+}
+
+func run(modelName string, res int, layerName string, withSimba, withTrace bool, chiplets, cores, lanes, vector int, out string) error {
+	m, err := workload.Load(modelName, res)
+	if err != nil {
+		return err
+	}
+	hw := nnbaton.CaseStudyHardware()
+	if chiplets > 0 || cores > 0 || lanes > 0 || vector > 0 {
+		if chiplets > 0 {
+			hw.Chiplets = chiplets
+		}
+		if cores > 0 {
+			hw.Cores = cores
+		}
+		if lanes > 0 {
+			hw.Lanes = lanes
+		}
+		if vector > 0 {
+			hw.Vector = vector
+		}
+		hw = hardware.Config{Chiplets: hw.Chiplets, Cores: hw.Cores, Lanes: hw.Lanes, Vector: hw.Vector}.
+			WithProportionalMemory(hardware.DefaultProportion())
+	}
+	tool := nnbaton.New()
+	fmt.Printf("hardware: %s  (chiplet area %.2f mm²)\n\n", hw, tool.ChipletAreaMM2(hw))
+
+	if layerName != "" {
+		l, err := m.Layer(layerName)
+		if err != nil {
+			return err
+		}
+		rep, err := tool.MapLayer(l, hw)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%v\n  mapping: %s\n  energy:  %s\n  runtime: %s ms\n\n",
+			l, rep.Mapping, rep.Energy, report.MS(rep.Seconds))
+		if withTrace {
+			a, err := c3p.Analyze(l, hw, rep.Strategy)
+			if err != nil {
+				return err
+			}
+			tr, err := sim.Trace(a, 64)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("trace: %v (per-chiplet %v)\n", tr, tr.PerChiplet)
+			if err := sim.Gantt(os.Stdout, tr, 72); err != nil {
+				return err
+			}
+		}
+		if withSimba {
+			sr, err := simba.Evaluate(l, hw, simba.DefaultGrid(hw))
+			if err != nil {
+				return err
+			}
+			se := energy.FromTraffic(sr.Traffic, hw, hardware.MustCostModel())
+			fmt.Printf("Simba baseline: %.2f uJ (NN-Baton saves %s)\n",
+				se.Total()/1e6, report.Pct(1-rep.Energy.Total()/se.Total()))
+		}
+		return nil
+	}
+
+	rep, err := tool.MapModel(m, hw)
+	if err != nil {
+		return err
+	}
+	if out != "" {
+		if err := writeStrategy(out, m, hw, rep); err != nil {
+			return err
+		}
+		fmt.Printf("wrote mapping strategy to %s\n", out)
+	}
+	t := report.New(fmt.Sprintf("%s @ %dx%d — per-layer optimal mappings", m.Name, m.Resolution, m.Resolution),
+		"layer", "mapping", "energy uJ", "runtime ms")
+	for _, lr := range rep.Layers {
+		t.Add(lr.Layer.Name, lr.Mapping, report.UJ(lr.Energy.Total()), report.MS(lr.Seconds))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("total: %.2f mJ, %.3f ms", rep.Energy.Total()/1e9, rep.Seconds*1e3)
+	if len(rep.Skipped) > 0 {
+		fmt.Printf("  (skipped: %s)", strings.Join(rep.Skipped, ","))
+	}
+	fmt.Println()
+	if withSimba {
+		cmp, err := tool.CompareSimba(m, hw)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Simba baseline: %.2f mJ — NN-Baton saves %s\n",
+			cmp.Simba.Total()/1e9, report.Pct(cmp.SavingsRatio))
+	}
+	return nil
+}
+
+// writeStrategy exports the per-layer mapping decisions as a strategy file
+// for downstream tooling (the "hardware compiler" interface of §IV-D).
+func writeStrategy(path string, m workload.Model, hw nnbaton.Hardware, rep nnbaton.ModelReport) error {
+	f := strategy.File{Model: m.Name, Input: m.Resolution, Hardware: hw}
+	for _, lr := range rep.Layers {
+		f.Layers = append(f.Layers, strategy.LayerStrategy{
+			Layer: lr.Layer, Mapping: lr.Strategy,
+			EnergyPJ: lr.Energy.Total(), Cycles: lr.Cycles,
+		})
+	}
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	return strategy.Write(fh, f)
+}

@@ -1,0 +1,28 @@
+// Inter-layer fusion study (extension): map DarkNet-19 and VGG-16 layer-wise
+// on the case-study hardware, then fuse consecutive layers whose
+// intermediate feature maps fit the package A-L2, keeping them on-package
+// instead of round-tripping through DRAM.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nnbaton"
+)
+
+func main() {
+	tool := nnbaton.New()
+	hw := nnbaton.CaseStudyHardware()
+	for _, model := range []nnbaton.Model{nnbaton.DarkNet19(224), nnbaton.VGG16(224)} {
+		rep, err := tool.FusionStudy(model, hw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		saving := 1 - rep.Fused.Total()/rep.Unfused.Total()
+		fmt.Printf("%-11s %2d groups, %2d fused edges, %6.2f MB kept on-package\n",
+			rep.Model, rep.Groups, rep.FusedEdges, float64(rep.SavedDRAM)/1e6)
+		fmt.Printf("            energy %.2f mJ -> %.2f mJ (%.1f%% saved)\n\n",
+			rep.Unfused.Total()/1e9, rep.Fused.Total()/1e9, saving*100)
+	}
+}

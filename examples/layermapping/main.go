@@ -1,0 +1,61 @@
+// Layer-mapping study (the Fig 11 workflow): for the five representative
+// layer types of §VI-A — activation-intensive, weight-intensive,
+// large-kernel, point-wise and common — compare every (package, chiplet)
+// spatial partition pair and show how the preferred primitive shifts with
+// the layer's shape.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"nnbaton"
+	"nnbaton/internal/workload"
+)
+
+func main() {
+	tool := nnbaton.New()
+	hw := nnbaton.CaseStudyHardware()
+	reps, err := workload.RepresentativeLayers(224)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	combos := []string{"(C,C)", "(C,P)", "(C,H)", "(P,C)", "(P,P)", "(P,H)"}
+	fmt.Printf("%-22s", "layer")
+	for _, c := range combos {
+		fmt.Printf("  %9s", c)
+	}
+	fmt.Printf("  %s\n", "winner")
+
+	for _, r := range reps {
+		study := tool.SpatialComboStudy(r.Layer, hw)
+		fmt.Printf("%-22s", r.Role)
+		type kv struct {
+			combo string
+			uj    float64
+		}
+		var ranked []kv
+		for _, c := range combos {
+			if rep, ok := study[c]; ok {
+				uj := rep.Energy.Total() / 1e6
+				ranked = append(ranked, kv{c, uj})
+				fmt.Printf("  %9.1f", uj)
+			} else {
+				fmt.Printf("  %9s", "-")
+			}
+		}
+		sort.Slice(ranked, func(i, j int) bool { return ranked[i].uj < ranked[j].uj })
+		fmt.Printf("  %s\n", ranked[0].combo)
+	}
+
+	fmt.Println("\nDetailed optimum per layer:")
+	for _, r := range reps {
+		rep, err := tool.MapLayer(r.Layer, hw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s %s\n", r.Role, rep.Mapping)
+	}
+}

@@ -1,0 +1,42 @@
+// Quickstart: map VGG-16 onto the paper's 4-chiplet case-study accelerator
+// (post-design flow) and print the energy breakdown, runtime and the
+// savings over the Simba weight-centric baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nnbaton"
+)
+
+func main() {
+	tool := nnbaton.New()
+	model := nnbaton.VGG16(224)
+	hw := nnbaton.CaseStudyHardware()
+
+	fmt.Printf("Mapping %s (%d layers) onto %s — chiplet area %.2f mm²\n\n",
+		model.Name, len(model.Layers), hw.Tuple(), tool.ChipletAreaMM2(hw))
+
+	rep, err := tool.MapModel(model, hw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("total energy : %.2f mJ\n", rep.Energy.Total()/1e9)
+	fmt.Printf("runtime      : %.3f ms\n", rep.Seconds*1e3)
+	fmt.Printf("breakdown    : %v\n\n", rep.Energy)
+
+	// The first and last layers illustrate how the optimal strategy shifts
+	// with layer shape: plane partition for the big early feature map,
+	// channel partition for the weight-heavy FC layers.
+	first, last := rep.Layers[0], rep.Layers[len(rep.Layers)-1]
+	fmt.Printf("%-8s -> %s\n", first.Layer.Name, first.Mapping)
+	fmt.Printf("%-8s -> %s\n\n", last.Layer.Name, last.Mapping)
+
+	cmp, err := tool.CompareSimba(model, hw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Simba baseline: %.2f mJ — NN-Baton saves %.1f%%\n",
+		cmp.Simba.Total()/1e9, cmp.SavingsRatio*100)
+}

@@ -1,0 +1,3 @@
+module nnbaton
+
+go 1.22

@@ -1,0 +1,204 @@
+package c3p
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nnbaton/internal/mapping"
+	"nnbaton/internal/workload"
+)
+
+// loops builds a nest from (dim, count) pairs, outer→inner.
+func loops(pairs ...interface{}) []mapping.Loop {
+	var out []mapping.Loop
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, mapping.Loop{Dim: pairs[i].(mapping.Dim), Count: pairs[i+1].(int)})
+	}
+	return out
+}
+
+func convLayer() workload.Layer {
+	return workload.Layer{Model: "t", Name: "l", HO: 48, WO: 48, CO: 64, CI: 32,
+		R: 3, S: 3, StrideH: 1, StrideW: 1}
+}
+
+// TestWeightWalkExample1 reproduces the paper's Fig 6(c) example-1: the nest
+// [H1, W1, C1] (planar outer, channel inner). Cc1 = C1×filters; a W-L1 below
+// Cc1 reloads on every one of the H1×W1 planar iterations.
+func TestWeightWalkExample1(t *testing.T) {
+	l := convLayer()
+	filters := int64(8) * int64(l.CI) * int64(l.R) * int64(l.S) // baseCO=8 lanes
+	nest := loops(mapping.DimH, 3, mapping.DimW, 3, mapping.DimC, 4)
+	f := WeightWalk(l, nest, 8)
+	if f.Base != filters {
+		t.Fatalf("base = %d, want %d", f.Base, filters)
+	}
+	if f.Intrinsic != 4*filters {
+		t.Errorf("intrinsic = %d, want %d", f.Intrinsic, 4*filters)
+	}
+	if len(f.Thresholds) != 1 || f.Thresholds[0].Capacity != 4*filters || f.Thresholds[0].Penalty != 9 {
+		t.Fatalf("thresholds = %v, want [{%d 9}]", f.Thresholds, 4*filters)
+	}
+	if got := f.Fills(4*filters - 1); got != 36*filters {
+		t.Errorf("fills below Cc1 = %d, want %d", got, 36*filters)
+	}
+	if got := f.Fills(4 * filters); got != 4*filters {
+		t.Errorf("fills at Cc1 = %d, want %d", got, 4*filters)
+	}
+}
+
+// TestWeightWalkExample2 reproduces Fig 6(d) example-2: nest [C2, H1W1, C1].
+// Cp2 sits at the nest boundary, so the minimal penalty-free capacity
+// depends only on Cc1 = C1×filters.
+func TestWeightWalkExample2(t *testing.T) {
+	l := convLayer()
+	filters := int64(8) * int64(l.CI) * int64(l.R) * int64(l.S)
+	nest := loops(mapping.DimC, 2, mapping.DimH, 3, mapping.DimW, 3, mapping.DimC, 4)
+	f := WeightWalk(l, nest, 8)
+	if f.Intrinsic != 8*filters {
+		t.Errorf("intrinsic = %d, want %d", f.Intrinsic, 8*filters)
+	}
+	if len(f.Thresholds) != 1 {
+		t.Fatalf("thresholds = %v, want exactly one", f.Thresholds)
+	}
+	if f.PenaltyFreeCapacity() != 4*filters {
+		t.Errorf("penalty-free capacity = %d, want %d (depends only on Cc1)",
+			f.PenaltyFreeCapacity(), 4*filters)
+	}
+	if got := f.Fills(4 * filters); got != 8*filters {
+		t.Errorf("fills at Cc1 = %d, want %d", got, 8*filters)
+	}
+}
+
+// TestWeightWalkTwoRegions covers two separated reuse regions:
+// [H1, C2, W1, C1] yields thresholds at Cc1=C1·f (region W1) and
+// Cc2=C2·C1·f (region H1), composing multiplicatively.
+func TestWeightWalkTwoRegions(t *testing.T) {
+	l := convLayer()
+	f0 := int64(8) * int64(l.CI) * int64(l.R) * int64(l.S)
+	nest := loops(mapping.DimH, 5, mapping.DimC, 2, mapping.DimW, 3, mapping.DimC, 4)
+	f := WeightWalk(l, nest, 8)
+	if f.Intrinsic != 8*f0 {
+		t.Errorf("intrinsic = %d, want %d", f.Intrinsic, 8*f0)
+	}
+	if len(f.Thresholds) != 2 {
+		t.Fatalf("thresholds = %v, want two", f.Thresholds)
+	}
+	if f.Thresholds[0] != (Threshold{4 * f0, 3}) || f.Thresholds[1] != (Threshold{8 * f0, 5}) {
+		t.Errorf("thresholds = %v", f.Thresholds)
+	}
+	if got := f.Fills(0); got != 8*f0*15 {
+		t.Errorf("fills(0) = %d, want %d", got, 8*f0*15)
+	}
+	if got := f.Fills(4 * f0); got != 8*f0*5 {
+		t.Errorf("fills(Cc1) = %d, want %d", got, 8*f0*5)
+	}
+	if got := f.Fills(8 * f0); got != 8*f0 {
+		t.Errorf("fills(Cc2) = %d, want %d", got, 8*f0)
+	}
+}
+
+func TestActivationWalkHalo(t *testing.T) {
+	l := convLayer()
+	// Nest [C, H, W] (channel outer): planar loops accumulate extents; the
+	// boundary region C requires holding the full region input.
+	nest := loops(mapping.DimC, 4, mapping.DimH, 3, mapping.DimW, 3)
+	f := ActivationWalk(l, nest, 4, 4, l.CI)
+	base := l.TileInputBytes(4, 4, l.CI) // 6*6*32
+	if f.Base != base {
+		t.Fatalf("base = %d, want %d", f.Base, base)
+	}
+	// Intrinsic pays per-tile halo: 9 tiles of 6x6 input each.
+	if f.Intrinsic != 9*base {
+		t.Errorf("intrinsic = %d, want %d", f.Intrinsic, 9*base)
+	}
+	// The critical capacity for reuse across C is the union extent 14x14x32,
+	// not the duplicated 9x(6x6x32).
+	region := l.TileInputBytes(12, 12, l.CI)
+	if len(f.Thresholds) != 1 || f.Thresholds[0] != (Threshold{region, 4}) {
+		t.Errorf("thresholds = %v, want [{%d 4}]", f.Thresholds, region)
+	}
+}
+
+func TestActivationWalkChannelInner(t *testing.T) {
+	l := convLayer()
+	// Nest [H, W, C] (channel inner): reuse across C only needs one tile.
+	nest := loops(mapping.DimH, 3, mapping.DimW, 3, mapping.DimC, 4)
+	f := ActivationWalk(l, nest, 4, 4, l.CI)
+	base := l.TileInputBytes(4, 4, l.CI)
+	if len(f.Thresholds) != 1 || f.Thresholds[0] != (Threshold{base, 4}) {
+		t.Errorf("thresholds = %v, want [{%d 4}]", f.Thresholds, base)
+	}
+	if f.Intrinsic != 9*base {
+		t.Errorf("intrinsic = %d, want %d", f.Intrinsic, 9*base)
+	}
+}
+
+func TestUnitLoopsAreFree(t *testing.T) {
+	l := convLayer()
+	nest := loops(mapping.DimC, 1, mapping.DimH, 1, mapping.DimW, 1)
+	f := WeightWalk(l, nest, 8)
+	if len(f.Thresholds) != 0 || f.Intrinsic != f.Base {
+		t.Errorf("unit nest should be penalty-free: %v", f)
+	}
+	a := ActivationWalk(l, nest, 4, 4, l.CI)
+	if len(a.Thresholds) != 0 || a.Intrinsic != a.Base {
+		t.Errorf("unit nest should be penalty-free: %v", a)
+	}
+}
+
+func TestWithInnerThreshold(t *testing.T) {
+	f := FillAnalysis{Base: 10, Intrinsic: 100, Thresholds: []Threshold{{50, 3}}}
+	g := f.WithInnerThreshold(20, 9)
+	if len(g.Thresholds) != 2 || g.Thresholds[0] != (Threshold{20, 9}) {
+		t.Errorf("thresholds = %v", g.Thresholds)
+	}
+	if got := g.Fills(10); got != 100*9*3 {
+		t.Errorf("fills = %d", got)
+	}
+	// Penalty 1 is a no-op.
+	if same := f.WithInnerThreshold(20, 1); len(same.Thresholds) != 1 {
+		t.Errorf("penalty-1 threshold should be dropped: %v", same.Thresholds)
+	}
+	// The original must not be mutated.
+	if len(f.Thresholds) != 1 {
+		t.Errorf("WithInnerThreshold mutated receiver: %v", f.Thresholds)
+	}
+}
+
+// Fills must be monotonically non-increasing in capacity, bounded below by
+// the intrinsic volume.
+func TestFillsMonotone(t *testing.T) {
+	l := convLayer()
+	check := func(h1, w1, c1, c2 uint8) bool {
+		nest := loops(
+			mapping.DimC, int(c2%4)+1,
+			mapping.DimH, int(h1%5)+1,
+			mapping.DimW, int(w1%5)+1,
+			mapping.DimC, int(c1%6)+1,
+		)
+		f := WeightWalk(l, nest, 8)
+		prev := f.Fills(0)
+		if prev < f.Intrinsic {
+			return false
+		}
+		for cap := int64(1); cap < f.PenaltyFreeCapacity()+10; cap += f.Base {
+			cur := f.Fills(cap)
+			if cur > prev || cur < f.Intrinsic {
+				return false
+			}
+			prev = cur
+		}
+		return f.Fills(f.PenaltyFreeCapacity()) == f.Intrinsic
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	f := FillAnalysis{Base: 1, Intrinsic: 2, Thresholds: []Threshold{{3, 4}}}
+	if f.String() == "" {
+		t.Error("empty string")
+	}
+}

@@ -1,0 +1,208 @@
+package c3p
+
+import (
+	"nnbaton/internal/hardware"
+	"nnbaton/internal/mapping"
+	"nnbaton/internal/workload"
+)
+
+// Traffic aggregates the memory access volumes of one layer execution across
+// the whole package. Volumes are bytes except OL1RMW (24-bit read-modify-
+// write operations) and MACs (8-bit multiply-accumulates). The D2DPsums and
+// L2Psum fields are produced only by the Simba weight-centric baseline,
+// whose dataflow moves 24-bit partial sums between units (§III-B).
+type Traffic struct {
+	DRAMActReads  int64 // DRAM → package activation reads
+	DRAMWtReads   int64 // DRAM → package weight reads
+	DRAMOutWrites int64 // package → DRAM output writes
+
+	D2DActs   int64 // die-to-die activation bytes (rotating transfer)
+	D2DWts    int64 // die-to-die weight bytes (rotating transfer)
+	D2DPsums  int64 // die-to-die 24-bit partial-sum bytes (Simba baseline)
+	D2DOutput int64 // die-to-die output collection bytes (Simba baseline)
+
+	AL2Writes, AL2Reads int64 // chiplet shared activation buffer
+	AL1Writes, AL1Reads int64 // core local activation buffer
+	WL1Writes, WL1Reads int64 // core local weight buffer (pooled)
+	OL2Writes, OL2Reads int64 // chiplet output buffer
+	L2Psum              int64 // L2 partial-sum spill bytes (Simba baseline)
+
+	OL1RMW int64 // output register read-modify-write operations
+	MACs   int64 // multiply-accumulate operations
+}
+
+// Add returns the element-wise sum of two traffic records.
+func (t Traffic) Add(o Traffic) Traffic {
+	t.DRAMActReads += o.DRAMActReads
+	t.DRAMWtReads += o.DRAMWtReads
+	t.DRAMOutWrites += o.DRAMOutWrites
+	t.D2DActs += o.D2DActs
+	t.D2DWts += o.D2DWts
+	t.D2DPsums += o.D2DPsums
+	t.D2DOutput += o.D2DOutput
+	t.AL2Writes += o.AL2Writes
+	t.AL2Reads += o.AL2Reads
+	t.AL1Writes += o.AL1Writes
+	t.AL1Reads += o.AL1Reads
+	t.WL1Writes += o.WL1Writes
+	t.WL1Reads += o.WL1Reads
+	t.OL2Writes += o.OL2Writes
+	t.OL2Reads += o.OL2Reads
+	t.L2Psum += o.L2Psum
+	t.OL1RMW += o.OL1RMW
+	t.MACs += o.MACs
+	return t
+}
+
+// DRAMBytes returns total off-package traffic.
+func (t Traffic) DRAMBytes() int64 { return t.DRAMActReads + t.DRAMWtReads + t.DRAMOutWrites }
+
+// D2DBytes returns total die-to-die traffic.
+func (t Traffic) D2DBytes() int64 { return t.D2DActs + t.D2DWts + t.D2DPsums + t.D2DOutput }
+
+// Analysis is the C³P evaluation of one (layer, hardware, mapping) triple.
+// The buffer-size-dependent components are retained as FillAnalysis step
+// functions so the memory design space can be swept without re-analyzing.
+type Analysis struct {
+	Layer workload.Layer
+	HW    hardware.Config
+	Map   mapping.Mapping
+	Shape mapping.Shape
+
+	// WL1 is the per-weight-group fill analysis; capacity is the merged
+	// W-L1 pool (WL1Bytes × WeightShareCores).
+	WL1 FillAnalysis
+	// AL2 is the per-chiplet activation fill analysis over the package
+	// nest; capacity is AL2Bytes.
+	AL2 FillAnalysis
+	// AL1 is the per-core per-chiplet-workload activation fill analysis
+	// over the chiplet nest; capacity is AL1Bytes.
+	AL1 FillAnalysis
+
+	fixed Traffic // buffer-size-independent traffic
+}
+
+func ceilDiv64(a, b int64) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// Analyze validates the mapping and builds its C³P analysis.
+func Analyze(l workload.Layer, hw hardware.Config, m mapping.Mapping) (*Analysis, error) {
+	if err := m.Validate(l, hw); err != nil {
+		return nil, err
+	}
+	s := m.Shape(l, hw)
+	a := &Analysis{Layer: l, HW: hw, Map: m, Shape: s}
+
+	nest := m.Nest(s)
+	a.WL1 = WeightWalk(l, nest, hw.Lanes)
+	a.AL2 = ActivationWalk(l, m.PackageNest(s), m.HOt, m.WOt, l.CI)
+	// A-L1 carries the supplemental Cc0 point: below one double-buffered
+	// P-channel slice of the core tile, the R×S window passes each refetch
+	// the slice from A-L2.
+	slice := l.TileInputBytes(m.HOc, m.WOc, min(hw.Vector, l.CIPerGroup()))
+	a.AL1 = ActivationWalk(l, m.ChipletNest(s), m.HOc, m.WOc, l.CI).
+		WithInnerThreshold(2*slice, int64(l.R)*int64(l.S))
+
+	// Buffer-size-independent traffic.
+	chiplets := int64(hw.Chiplets)
+	cores := int64(hw.Cores)
+	pkgPos := s.PackagePositions()
+	chipPos := s.ChipletPositions()
+	coreWorkloads := chiplets * cores * pkgPos * chipPos
+	ciSteps := ceilDiv64(int64(l.CIPerGroup()), int64(hw.Vector))
+	cyclesPerWL := int64(m.HOc) * int64(m.WOc) * int64(l.R) * int64(l.S) * ciSteps
+	activeLanes := int64(min(hw.Lanes, s.COs))
+
+	a.fixed.MACs = l.MACs()
+	a.fixed.OL1RMW = coreWorkloads * cyclesPerWL * activeLanes
+	a.fixed.AL1Reads = coreWorkloads * cyclesPerWL * int64(hw.Vector)
+	// Weight register loads: one pass of the group's weight set per core
+	// workload position, broadcast across the sharing cores.
+	wtPerWL := int64(hw.Lanes) * ciSteps * int64(hw.Vector) * int64(l.R) * int64(l.S)
+	// Grouped convolutions: lanes covering distinct groups fetch distinct
+	// input slices, so the A-L1 read stream multiplies by the group span of
+	// the lane window (a depthwise layer loses the lane-broadcast of the
+	// input entirely).
+	if l.G() > 1 {
+		span := (hw.Lanes + l.COPerGroup() - 1) / l.COPerGroup()
+		a.fixed.AL1Reads *= int64(max(1, min(hw.Lanes, span)))
+	}
+	groups := int64(s.PlanarShareCores) // distinct weight groups per chiplet
+	a.fixed.WL1Reads = chiplets * groups * pkgPos * chipPos * wtPerWL
+
+	out := l.OutputBytes()
+	a.fixed.DRAMOutWrites = out
+	a.fixed.OL2Writes = out
+	a.fixed.OL2Reads = out
+	return a, nil
+}
+
+// Traffic evaluates the total package traffic at the analysis' own hardware
+// buffer sizes.
+func (a *Analysis) Traffic() Traffic {
+	return a.TrafficAt(a.HW.AL1Bytes, a.HW.WL1Bytes, a.HW.AL2Bytes)
+}
+
+// TrafficAt evaluates the total package traffic with substituted buffer
+// sizes (per-core A-L1 and W-L1, per-chiplet A-L2). This is the fast path of
+// the pre-design memory sweep.
+func (a *Analysis) TrafficAt(al1, wl1, al2 int) Traffic {
+	t := a.fixed
+	hw, m, s := a.HW, a.Map, a.Shape
+	chiplets := int64(hw.Chiplets)
+	pkgPos := s.PackagePositions()
+
+	// Weights: fills per weight group, with the merged W-L1 pool capacity.
+	pool := int64(wl1) * int64(s.WeightShareCores)
+	groupFills := a.WL1.Fills(pool)
+	groups := int64(s.PlanarShareCores)
+	perChipletWt := groupFills * groups
+	t.WL1Writes = perChipletWt * chiplets
+	if m.PackageSpatial == mapping.SpatialP && m.Rotate {
+		// All chiplets share the same weights; the rotating transfer reads
+		// each fill from DRAM once and forwards it N_P−1 hops on the ring.
+		t.DRAMWtReads = perChipletWt
+		t.D2DWts = perChipletWt * (chiplets - 1)
+	} else if m.PackageSpatial == mapping.SpatialP {
+		t.DRAMWtReads = perChipletWt * chiplets // duplicated reads, no ring
+	} else {
+		t.DRAMWtReads = perChipletWt * chiplets // distinct weights per chiplet
+	}
+
+	// Activations at the chiplet boundary (A-L2 fills).
+	perChipletAct := a.AL2.Fills(int64(al2))
+	t.AL2Writes = perChipletAct * chiplets
+	if m.PackageSpatial == mapping.SpatialC && m.Rotate {
+		// Chiplets share the same planar tiles: each chiplet reads 1/N_P of
+		// the input channels from DRAM and receives the rest over the ring.
+		t.DRAMActReads = perChipletAct
+		t.D2DActs = perChipletAct * (chiplets - 1)
+	} else if m.PackageSpatial == mapping.SpatialC {
+		t.DRAMActReads = perChipletAct * chiplets // duplicated reads
+	} else {
+		t.DRAMActReads = perChipletAct * chiplets // distinct planar regions
+	}
+
+	// Activations at the core boundary (A-L1 fills), served from A-L2 over
+	// the multicast bus: cores along the channel split receive one read.
+	perCoreWL := a.AL1.Fills(int64(al1))
+	t.AL1Writes = perCoreWL * int64(hw.Cores) * pkgPos * chiplets
+	t.AL2Reads = t.AL1Writes / int64(s.PlanarShareCores)
+	if m.PackageSpatial == mapping.SpatialC && m.Rotate {
+		// Rotation forwarding also reads the resident chunk out of A-L2.
+		t.AL2Reads += perChipletAct * (chiplets - 1)
+	}
+	return t
+}
+
+// MinPenaltyFreeAL2 returns the A-L2 capacity above which the package-level
+// activation reuse is fully exploited.
+func (a *Analysis) MinPenaltyFreeAL2() int64 { return a.AL2.PenaltyFreeCapacity() }
+
+// MinPenaltyFreeWL1Pool returns the merged W-L1 pool capacity above which
+// weight reuse is fully exploited.
+func (a *Analysis) MinPenaltyFreeWL1Pool() int64 { return a.WL1.PenaltyFreeCapacity() }

@@ -1,0 +1,275 @@
+// Package dse implements NN-Baton's pre-design flow (§IV-D, §VI-B): the
+// hardware design space exploration over the Table II resource options. It
+// decides the chiplet granularity (Fig 14) and the full computation + memory
+// allocation (Fig 15) under area and performance budgets.
+package dse
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"nnbaton/internal/energy"
+	"nnbaton/internal/fab"
+	"nnbaton/internal/hardware"
+	"nnbaton/internal/mapper"
+	"nnbaton/internal/workload"
+)
+
+// Space is the exploration space of Table II. Memory options are bytes;
+// O-L1 options are bytes per lane (the register file scales with the number
+// of lanes holding 24-bit partial sums).
+type Space struct {
+	Vector   []int // P: vector-MAC size
+	Lanes    []int // L: lanes per core
+	Cores    []int // N_C: cores per chiplet
+	Chiplets []int // N_P: chiplets per package
+
+	OL1PerLane []int // O-L1 bytes per lane
+	AL1        []int // A-L1 bytes per core
+	WL1        []int // W-L1 bytes per core
+	AL2        []int // A-L2 bytes per chiplet
+}
+
+// TableII returns the experimental space of the paper: P, L ∈ {2,4,8,16},
+// N_C ∈ {1,2,4,8,16}, N_P ∈ {1,2,4,8}, O-L1 48–144 B/lane, A-L1 1–128 KB,
+// W-L1 2–256 KB, A-L2 32–256 KB.
+func TableII() Space {
+	kb := func(xs ...int) []int {
+		out := make([]int, len(xs))
+		for i, x := range xs {
+			out[i] = x * 1024
+		}
+		return out
+	}
+	return Space{
+		Vector:     []int{2, 4, 8, 16},
+		Lanes:      []int{2, 4, 8, 16},
+		Cores:      []int{1, 2, 4, 8, 16},
+		Chiplets:   []int{1, 2, 4, 8},
+		OL1PerLane: []int{48, 96, 144},
+		AL1:        kb(1, 2, 4, 8, 16, 32, 64, 128),
+		WL1:        kb(2, 4, 8, 16, 32, 64, 96, 144, 256),
+		AL2:        kb(32, 64, 96, 128, 192, 256),
+	}
+}
+
+// MemoryPoints returns the number of memory combinations per compute tuple.
+func (s Space) MemoryPoints() int {
+	return len(s.OL1PerLane) * len(s.AL1) * len(s.WL1) * len(s.AL2)
+}
+
+// ComputeConfigs enumerates every (chiplet, core, lane, vector) allocation
+// whose total MAC count equals totalMACs — the "63 possibilities" of §VI-B1
+// for 2048 MACs.
+func (s Space) ComputeConfigs(totalMACs int) []hardware.Config {
+	var out []hardware.Config
+	for _, np := range s.Chiplets {
+		for _, nc := range s.Cores {
+			for _, l := range s.Lanes {
+				for _, p := range s.Vector {
+					if np*nc*l*p == totalMACs {
+						out = append(out, hardware.Config{Chiplets: np, Cores: nc, Lanes: l, Vector: p})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Chiplets != b.Chiplets {
+			return a.Chiplets < b.Chiplets
+		}
+		if a.Cores != b.Cores {
+			return a.Cores < b.Cores
+		}
+		return a.Lanes < b.Lanes
+	})
+	return out
+}
+
+// Point is one evaluated hardware implementation.
+type Point struct {
+	HW             hardware.Config
+	Energy         energy.Breakdown
+	Seconds        float64
+	ChipletAreaMM2 float64
+	MeetsArea      bool
+	MappedLayers   int
+	SkippedLayers  int
+}
+
+// EDP returns the point's energy-delay product (pJ·s).
+func (p Point) EDP() float64 { return p.Energy.Total() * p.Seconds }
+
+// String renders the Fig 14 tuple with headline metrics.
+func (p Point) String() string {
+	return fmt.Sprintf("%s: %.1f uJ, %.3f ms, %.2f mm² (meets=%v)",
+		p.HW.Tuple(), p.Energy.Total()/1e6, p.Seconds*1e3, p.ChipletAreaMM2, p.MeetsArea)
+}
+
+// evaluate maps every layer of every model onto hw and aggregates.
+func evaluate(models []workload.Model, hw hardware.Config, cm *hardware.CostModel, areaLimit float64) (Point, error) {
+	pt := Point{HW: hw, ChipletAreaMM2: cm.ChipletAreaMM2(hw)}
+	pt.MeetsArea = areaLimit <= 0 || pt.ChipletAreaMM2 <= areaLimit
+	for _, m := range models {
+		res, err := mapper.SearchModel(m, hw, cm, mapper.Config{})
+		if err != nil {
+			return pt, err
+		}
+		pt.Energy = pt.Energy.Add(res.Energy)
+		pt.Seconds += hardware.Seconds(res.Cycles)
+		pt.MappedLayers += len(res.Layers)
+		pt.SkippedLayers += len(res.Skipped)
+	}
+	return pt, nil
+}
+
+// GranularityResult is the Fig 14 study output for one model: every compute
+// allocation of the MAC budget, with proportional memory.
+type GranularityResult struct {
+	Model  string
+	Points []Point
+}
+
+// BestPerChipletCount returns the minimum-energy point for each chiplet
+// count, optionally restricted to area-feasible implementations.
+func (g GranularityResult) BestPerChipletCount(constrained bool) map[int]Point {
+	best := make(map[int]Point)
+	for _, p := range g.Points {
+		if constrained && !p.MeetsArea {
+			continue
+		}
+		if p.MappedLayers == 0 {
+			continue
+		}
+		cur, ok := best[p.HW.Chiplets]
+		if !ok || p.Energy.Total() < cur.Energy.Total() {
+			best[p.HW.Chiplets] = p
+		}
+	}
+	return best
+}
+
+// BestEDP returns the area-feasible point with the lowest energy-delay
+// product (the red-box bar of Fig 14), or false if none is feasible.
+func (g GranularityResult) BestEDP() (Point, bool) {
+	var best Point
+	found := false
+	for _, p := range g.Points {
+		if !p.MeetsArea || p.MappedLayers == 0 {
+			continue
+		}
+		if !found || p.EDP() < best.EDP() {
+			best, found = p, true
+		}
+	}
+	return best, found
+}
+
+// Granularity runs the Fig 14 chiplet-granularity study: every compute
+// allocation of totalMACs, memory assembled proportionally to computation,
+// each evaluated with the optimal per-layer mapping over the given model.
+func Granularity(model workload.Model, space Space, totalMACs int, areaLimitMM2 float64,
+	prop hardware.Proportion, cm *hardware.CostModel) (GranularityResult, error) {
+	configs := space.ComputeConfigs(totalMACs)
+	if len(configs) == 0 {
+		return GranularityResult{}, fmt.Errorf("dse: no compute allocation reaches %d MACs", totalMACs)
+	}
+	res := GranularityResult{Model: model.Name, Points: make([]Point, len(configs))}
+	parallelFor(len(configs), func(i int) {
+		hw := configs[i].WithProportionalMemory(prop)
+		pt, err := evaluate([]workload.Model{model}, hw, cm, areaLimitMM2)
+		if err != nil {
+			// Unmappable configurations are retained with zero layers so
+			// the study can report them as infeasible.
+			pt = Point{HW: hw, ChipletAreaMM2: cm.ChipletAreaMM2(hw)}
+			pt.MeetsArea = areaLimitMM2 <= 0 || pt.ChipletAreaMM2 <= areaLimitMM2
+		}
+		res.Points[i] = pt
+	})
+	return res, nil
+}
+
+// GranularitySet runs the granularity study jointly over several target
+// models ("the pre-design flow helps architects ... with the given neural
+// network workloads", §IV-D): the energy, runtime and layer counts of each
+// point aggregate across all models, so the recommendation serves the whole
+// deployment set.
+func GranularitySet(models []workload.Model, space Space, totalMACs int, areaLimitMM2 float64,
+	prop hardware.Proportion, cm *hardware.CostModel) (GranularityResult, error) {
+	if len(models) == 0 {
+		return GranularityResult{}, fmt.Errorf("dse: no target models")
+	}
+	configs := space.ComputeConfigs(totalMACs)
+	if len(configs) == 0 {
+		return GranularityResult{}, fmt.Errorf("dse: no compute allocation reaches %d MACs", totalMACs)
+	}
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name
+	}
+	res := GranularityResult{Model: strings.Join(names, "+"), Points: make([]Point, len(configs))}
+	parallelFor(len(configs), func(i int) {
+		hw := configs[i].WithProportionalMemory(prop)
+		pt, err := evaluate(models, hw, cm, areaLimitMM2)
+		if err != nil {
+			pt = Point{HW: hw, ChipletAreaMM2: cm.ChipletAreaMM2(hw)}
+			pt.MeetsArea = areaLimitMM2 <= 0 || pt.ChipletAreaMM2 <= areaLimitMM2
+		}
+		res.Points[i] = pt
+	})
+	return res, nil
+}
+
+// CostedPoint pairs a design point with its manufacturing cost.
+type CostedPoint struct {
+	Point
+	Cost fab.SystemCost
+}
+
+// WithCosts prices every point of a granularity study under a fabrication
+// process, quantifying the cost side of the chiplet trade-off ("employing
+// the chiplet-based solution sacrifices the performance and energy cost but
+// obtains lower cost", §VI-B1). Points whose dies cannot be fabricated are
+// skipped.
+func (g GranularityResult) WithCosts(p fab.Process) []CostedPoint {
+	out := make([]CostedPoint, 0, len(g.Points))
+	for _, pt := range g.Points {
+		c, err := p.PackageCost(pt.HW.Chiplets, pt.ChipletAreaMM2)
+		if err != nil {
+			continue
+		}
+		out = append(out, CostedPoint{Point: pt, Cost: c})
+	}
+	return out
+}
+
+// parallelFor runs f(i) for i in [0,n) across GOMAXPROCS workers.
+func parallelFor(n int, f func(int)) {
+	workers := min(n, runtime.GOMAXPROCS(0))
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

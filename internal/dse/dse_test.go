@@ -1,0 +1,246 @@
+package dse
+
+import (
+	"testing"
+
+	"nnbaton/internal/fab"
+	"nnbaton/internal/hardware"
+	"nnbaton/internal/workload"
+)
+
+var cm = hardware.MustCostModel()
+
+// tinySpace keeps unit tests fast; the full Table II space is exercised by
+// the experiment benchmarks.
+func tinySpace() Space {
+	return Space{
+		Vector:     []int{8},
+		Lanes:      []int{8},
+		Cores:      []int{2, 4, 8},
+		Chiplets:   []int{1, 2, 4},
+		OL1PerLane: []int{96, 144},
+		AL1:        []int{1024, 4096},
+		WL1:        []int{8192, 32768},
+		AL2:        []int{32768, 65536},
+	}
+}
+
+// tinyModel is a two-layer synthetic network that maps quickly.
+func tinyModel() workload.Model {
+	return workload.Model{Name: "tiny", Resolution: 32, Layers: []workload.Layer{
+		{Model: "tiny", Name: "conv1", HO: 32, WO: 32, CO: 32, CI: 16,
+			R: 3, S: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		{Model: "tiny", Name: "conv2", HO: 16, WO: 16, CO: 64, CI: 32,
+			R: 3, S: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1},
+	}}
+}
+
+func TestTableIISpace(t *testing.T) {
+	s := TableII()
+	if s.MemoryPoints() != 3*8*9*6 {
+		t.Errorf("memory points = %d", s.MemoryPoints())
+	}
+	// 2048-MAC compute allocations in the power-of-two Table II space.
+	configs := s.ComputeConfigs(2048)
+	if len(configs) != 32 {
+		t.Errorf("2048-MAC compute allocations = %d, want 32", len(configs))
+	}
+	for _, c := range configs {
+		if c.TotalMACs() != 2048 {
+			t.Errorf("config %s has %d MACs", c.Tuple(), c.TotalMACs())
+		}
+	}
+	// Sorted by chiplets, then cores.
+	for i := 1; i < len(configs); i++ {
+		if configs[i].Chiplets < configs[i-1].Chiplets {
+			t.Error("configs not sorted by chiplet count")
+		}
+	}
+	if got := s.ComputeConfigs(7); len(got) != 0 {
+		t.Errorf("impossible MAC budget matched %d configs", len(got))
+	}
+}
+
+func TestGranularityStudy(t *testing.T) {
+	res, err := Granularity(tinyModel(), tinySpace(), 512, 2.0, hardware.DefaultProportion(), cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no points")
+	}
+	// All three chiplet counts appear.
+	counts := map[int]bool{}
+	for _, p := range res.Points {
+		counts[p.HW.Chiplets] = true
+		if p.ChipletAreaMM2 <= 0 {
+			t.Errorf("point %s has no area", p.HW.Tuple())
+		}
+	}
+	for _, np := range []int{1, 2, 4} {
+		if !counts[np] {
+			t.Errorf("missing %d-chiplet configs", np)
+		}
+	}
+	best := res.BestPerChipletCount(false)
+	if len(best) == 0 {
+		t.Fatal("no per-chiplet best")
+	}
+	// Without an area constraint, fewer chiplets should not lose to more
+	// chiplets (on-chip beats inter-chip communication, Fig 14).
+	if b1, ok1 := best[1]; ok1 {
+		if b4, ok4 := best[4]; ok4 && b1.Energy.Total() > b4.Energy.Total()*1.05 {
+			t.Errorf("1-chiplet best %.0f should not exceed 4-chiplet %.0f",
+				b1.Energy.Total(), b4.Energy.Total())
+		}
+	}
+	if _, ok := res.BestEDP(); !ok {
+		t.Error("no EDP-best under the 2mm² constraint")
+	}
+}
+
+func TestGranularityErrors(t *testing.T) {
+	if _, err := Granularity(tinyModel(), tinySpace(), 7, 2.0, hardware.DefaultProportion(), cm); err == nil {
+		t.Error("expected error for impossible MAC budget")
+	}
+}
+
+func TestExplore(t *testing.T) {
+	res, err := Explore(tinyModel(), tinySpace(), 512, 3.0, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Swept == 0 || len(res.Points) == 0 {
+		t.Fatalf("swept=%d valid=%d", res.Swept, len(res.Points))
+	}
+	if len(res.Points) > res.Swept {
+		t.Error("more valid points than swept")
+	}
+	if !res.HasBest {
+		t.Fatal("no best point under area constraint")
+	}
+	if !res.Best.MeetsArea || res.Best.MappedLayers != len(tinyModel().Layers) {
+		t.Errorf("best point malformed: %+v", res.Best)
+	}
+	// Every valid point maps every layer.
+	for _, p := range res.Points {
+		if p.MappedLayers != len(tinyModel().Layers) {
+			t.Errorf("valid point %s mapped %d layers", p.HW.Tuple(), p.MappedLayers)
+		}
+	}
+	// Pareto front is non-empty, no larger than the point set, and
+	// internally non-dominated.
+	front := res.ParetoFront()
+	if len(front) == 0 || len(front) > len(res.Points) {
+		t.Fatalf("front size %d of %d", len(front), len(res.Points))
+	}
+	for i, p := range front {
+		for j, q := range front {
+			if i == j {
+				continue
+			}
+			if q.ChipletAreaMM2 < p.ChipletAreaMM2 && q.EDP() < p.EDP() {
+				t.Errorf("front point %s dominated by %s", p.HW, q.HW)
+			}
+		}
+	}
+	// The best EDP point must be on or behind the front's EDP range.
+	minEDP := front[0].EDP()
+	for _, p := range front {
+		if p.EDP() < minEDP {
+			minEDP = p.EDP()
+		}
+	}
+	if res.Best.EDP() < minEDP {
+		t.Error("best point beats the Pareto front, impossible")
+	}
+}
+
+func TestExploreInvalidPruning(t *testing.T) {
+	// A space where every A-L2 option is smaller than every A-L1 option
+	// yields zero valid points but still counts sweeps.
+	s := tinySpace()
+	s.AL1 = []int{128 * 1024}
+	s.AL2 = []int{32 * 1024}
+	res, err := Explore(tinyModel(), s, 512, 3.0, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 0 || res.Swept == 0 {
+		t.Errorf("expected all points pruned: valid=%d swept=%d", len(res.Points), res.Swept)
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	got := make([]int, 100)
+	parallelFor(len(got), func(i int) { got[i] = i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("index %d = %d", i, v)
+		}
+	}
+	// n=0 and n=1 paths.
+	parallelFor(0, func(int) { t.Fatal("must not run") })
+	ran := false
+	parallelFor(1, func(int) { ran = true })
+	if !ran {
+		t.Error("single-element loop skipped")
+	}
+}
+
+func TestPointString(t *testing.T) {
+	p := Point{HW: hardware.CaseStudy(), ChipletAreaMM2: 1.5, MeetsArea: true}
+	if p.String() == "" {
+		t.Error("empty point string")
+	}
+}
+
+func TestGranularitySet(t *testing.T) {
+	a := tinyModel()
+	b := tinyModel()
+	b.Name = "tiny2"
+	res, err := GranularitySet([]workload.Model{a, b}, tinySpace(), 512, 2.0, hardware.DefaultProportion(), cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model != "tiny+tiny2" {
+		t.Errorf("joint name = %q", res.Model)
+	}
+	single, err := Granularity(a, tinySpace(), 512, 2.0, hardware.DefaultProportion(), cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two identical models double the aggregate energy per point.
+	if len(res.Points) != len(single.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(res.Points), len(single.Points))
+	}
+	for i := range res.Points {
+		joint, one := res.Points[i], single.Points[i]
+		if one.MappedLayers == 0 {
+			continue
+		}
+		ratio := joint.Energy.Total() / one.Energy.Total()
+		if ratio < 1.99 || ratio > 2.01 {
+			t.Errorf("point %s: joint/single energy ratio %.3f, want 2", joint.HW.Tuple(), ratio)
+		}
+	}
+	if _, err := GranularitySet(nil, tinySpace(), 512, 2.0, hardware.DefaultProportion(), cm); err == nil {
+		t.Error("expected empty-set error")
+	}
+}
+
+func TestWithCosts(t *testing.T) {
+	res, err := Granularity(tinyModel(), tinySpace(), 512, 0, hardware.DefaultProportion(), cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costed := res.WithCosts(fab.TSMC16Like())
+	if len(costed) == 0 {
+		t.Fatal("no costed points")
+	}
+	for _, cp := range costed {
+		if cp.Cost.TotalUSD <= 0 || cp.Cost.Chiplets != cp.HW.Chiplets {
+			t.Errorf("bad cost record: %+v", cp.Cost)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package dse
+
+import (
+	"fmt"
+	"sync"
+
+	"nnbaton/internal/c3p"
+	"nnbaton/internal/energy"
+	"nnbaton/internal/hardware"
+	"nnbaton/internal/mapper"
+	"nnbaton/internal/sim"
+	"nnbaton/internal/workload"
+)
+
+// ExploreResult is the Fig 15 full design-space exploration for one model.
+type ExploreResult struct {
+	Model string
+	// Swept counts every (compute, memory) point considered, valid or not.
+	Swept int
+	// Points holds the valid implementations (every layer mappable).
+	Points []Point
+	// Best is the lowest-EDP point meeting the area constraint.
+	Best    Point
+	HasBest bool
+}
+
+// ParetoFront returns the area-vs-EDP Pareto-optimal subset of the valid
+// points (the region left of the grey trend line in Fig 15: designs whose
+// memory allocation is not redundant).
+func (r ExploreResult) ParetoFront() []Point {
+	front := make([]Point, 0)
+	for _, p := range r.Points {
+		dominated := false
+		for _, q := range r.Points {
+			if q.ChipletAreaMM2 <= p.ChipletAreaMM2 && q.EDP() <= p.EDP() &&
+				(q.ChipletAreaMM2 < p.ChipletAreaMM2 || q.EDP() < p.EDP()) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	return front
+}
+
+// candidate is a pooled mapping analysis reused across memory points.
+type candidate struct {
+	layer int
+	a     *c3p.Analysis
+}
+
+// Explore runs the Fig 15 pre-design sweep for one model: every compute
+// allocation of totalMACs crossed with every Table II memory combination.
+//
+// For tractability the per-layer mapping search runs once per compute
+// configuration at a few anchor memory allocations (minimum, proportional,
+// maximum); the pooled candidate mappings are then re-priced at every memory
+// point through the C³P threshold step functions (TrafficAt), which is exact
+// for a fixed mapping. Invalid cases (A-L2 smaller than A-L1, buffers unable
+// to stage any candidate) are skipped, as §VI-B2 prescribes.
+func Explore(model workload.Model, space Space, totalMACs int, areaLimitMM2 float64,
+	cm *hardware.CostModel) (ExploreResult, error) {
+	computes := space.ComputeConfigs(totalMACs)
+	if len(computes) == 0 {
+		return ExploreResult{}, fmt.Errorf("dse: no compute allocation reaches %d MACs", totalMACs)
+	}
+	res := ExploreResult{Model: model.Name}
+	var mu sync.Mutex
+
+	parallelFor(len(computes), func(ci int) {
+		comp := computes[ci]
+		points, swept := exploreCompute(model, space, comp, areaLimitMM2, cm)
+		mu.Lock()
+		defer mu.Unlock()
+		res.Swept += swept
+		res.Points = append(res.Points, points...)
+	})
+
+	for _, p := range res.Points {
+		if !p.MeetsArea {
+			continue
+		}
+		if !res.HasBest || p.EDP() < res.Best.EDP() {
+			res.Best, res.HasBest = p, true
+		}
+	}
+	return res, nil
+}
+
+// anchorConfigs returns the memory allocations at which the mapping search
+// harvests candidates for one compute configuration.
+func anchorConfigs(space Space, comp hardware.Config) []hardware.Config {
+	maxOf := func(xs []int) int { return xs[len(xs)-1] }
+	minOf := func(xs []int) int { return xs[0] }
+	mk := func(ol1PerLane, al1, wl1, al2 int) hardware.Config {
+		hw := comp
+		hw.OL1Bytes = ol1PerLane * comp.Lanes
+		hw.AL1Bytes = al1
+		hw.WL1Bytes = wl1
+		hw.AL2Bytes = al2
+		hw.OL2Bytes = al2 / 2
+		return hw
+	}
+	return []hardware.Config{
+		mk(maxOf(space.OL1PerLane), maxOf(space.AL1), maxOf(space.WL1), maxOf(space.AL2)),
+		mk(minOf(space.OL1PerLane), minOf(space.AL1), minOf(space.WL1), minOf(space.AL2)),
+		comp.WithProportionalMemory(hardware.DefaultProportion()),
+	}
+}
+
+func exploreCompute(model workload.Model, space Space, comp hardware.Config,
+	areaLimitMM2 float64, cm *hardware.CostModel) ([]Point, int) {
+	// Harvest mapping candidates per layer at the anchor allocations.
+	pool := make([][]candidate, len(model.Layers))
+	for _, anchor := range anchorConfigs(space, comp) {
+		if anchor.Validate() != nil {
+			continue
+		}
+		for li, l := range model.Layers {
+			for _, opt := range mapper.SearchAll(l, anchor, cm, mapper.Config{KeepTop: 4}) {
+				pool[li] = append(pool[li], candidate{layer: li, a: opt.Analysis})
+			}
+		}
+	}
+
+	var points []Point
+	swept := 0
+	for _, olPerLane := range space.OL1PerLane {
+		for _, al1 := range space.AL1 {
+			for _, wl1 := range space.WL1 {
+				for _, al2 := range space.AL2 {
+					swept++
+					// §VI-B2 invalid-case pruning.
+					if al2 < al1 {
+						continue
+					}
+					hw := comp
+					hw.OL1Bytes = olPerLane * comp.Lanes
+					hw.AL1Bytes, hw.WL1Bytes, hw.AL2Bytes = al1, wl1, al2
+					hw.OL2Bytes = al2 / 2
+					if pt, ok := priceMemoryPoint(model, hw, pool, areaLimitMM2, cm); ok {
+						points = append(points, pt)
+					}
+				}
+			}
+		}
+	}
+	return points, swept
+}
+
+// priceMemoryPoint re-prices the pooled candidates at one memory allocation
+// and returns the aggregated point; ok is false when some layer has no valid
+// candidate at these buffer sizes.
+func priceMemoryPoint(model workload.Model, hw hardware.Config, pool [][]candidate,
+	areaLimitMM2 float64, cm *hardware.CostModel) (Point, bool) {
+	pt := Point{HW: hw, ChipletAreaMM2: cm.ChipletAreaMM2(hw)}
+	pt.MeetsArea = areaLimitMM2 <= 0 || pt.ChipletAreaMM2 <= areaLimitMM2
+	for li, l := range model.Layers {
+		bestE := -1.0
+		var bestBr energy.Breakdown
+		var bestCycles int64
+		for _, c := range pool[li] {
+			if c.a.Map.Validate(l, hw) != nil {
+				continue
+			}
+			tr := c.a.TrafficAt(hw.AL1Bytes, hw.WL1Bytes, hw.AL2Bytes)
+			br := energy.FromTraffic(tr, hw, cm)
+			if bestE >= 0 && br.Total() >= bestE {
+				continue
+			}
+			r, err := sim.SimulateTraffic(c.a, tr)
+			if err != nil {
+				continue
+			}
+			bestE, bestBr, bestCycles = br.Total(), br, r.Cycles
+		}
+		if bestE < 0 {
+			pt.SkippedLayers++
+			continue
+		}
+		pt.Energy = pt.Energy.Add(bestBr)
+		pt.Seconds += hardware.Seconds(bestCycles)
+		pt.MappedLayers++
+	}
+	return pt, pt.MappedLayers == len(model.Layers)
+}

@@ -1,0 +1,151 @@
+// Package fab models the manufacturing economics that motivate chiplet
+// integration (§I–II: the "area wall" — cost per transistor and fabrication
+// yield degrade with die size). It quantifies the trade-off Fig 14 exposes:
+// a multichip implementation sacrifices energy and runtime but "obtains
+// lower cost and enables die reuse".
+//
+// The yield model is Murphy's classic formula over a defect density D and
+// die area A: Y = ((1 − e^{−AD})/(AD))². Known-good-die (KGD) testing and
+// per-die MCM assembly add per-chiplet costs.
+package fab
+
+import (
+	"fmt"
+	"math"
+)
+
+// Process describes a fabrication process and packaging cost structure.
+type Process struct {
+	// WaferCostUSD is the cost of one processed wafer.
+	WaferCostUSD float64
+	// WaferDiameterMM is the usable wafer diameter.
+	WaferDiameterMM float64
+	// DefectsPerMM2 is the defect density D of the Murphy yield model.
+	DefectsPerMM2 float64
+	// ScribeMM is the inter-die scribe line width.
+	ScribeMM float64
+	// KGDTestUSD is the known-good-die test cost per die.
+	KGDTestUSD float64
+	// AssemblyUSDPerDie is the MCM substrate/bonding cost per placed die.
+	AssemblyUSDPerDie float64
+	// AssemblyYield is the per-die-placement assembly yield.
+	AssemblyYield float64
+}
+
+// TSMC16Like returns a plausible 16 nm-class cost structure (the absolute
+// dollars are illustrative; the paper's argument rests on the relative
+// trend, which Murphy's model fixes).
+func TSMC16Like() Process {
+	return Process{
+		WaferCostUSD:      6000,
+		WaferDiameterMM:   300,
+		DefectsPerMM2:     0.002, // 0.2 defects/cm²
+		ScribeMM:          0.1,
+		KGDTestUSD:        0.05,
+		AssemblyUSDPerDie: 0.25,
+		AssemblyYield:     0.99,
+	}
+}
+
+// Validate reports an error for non-physical parameters.
+func (p Process) Validate() error {
+	switch {
+	case p.WaferCostUSD <= 0 || p.WaferDiameterMM <= 0:
+		return fmt.Errorf("fab: non-positive wafer parameters in %+v", p)
+	case p.DefectsPerMM2 < 0 || p.ScribeMM < 0 || p.KGDTestUSD < 0 || p.AssemblyUSDPerDie < 0:
+		return fmt.Errorf("fab: negative cost parameter in %+v", p)
+	case p.AssemblyYield <= 0 || p.AssemblyYield > 1:
+		return fmt.Errorf("fab: assembly yield %f outside (0,1]", p.AssemblyYield)
+	}
+	return nil
+}
+
+// Yield returns the Murphy die yield for a die of the given area.
+func (p Process) Yield(areaMM2 float64) float64 {
+	if areaMM2 <= 0 {
+		return 1
+	}
+	ad := areaMM2 * p.DefectsPerMM2
+	if ad == 0 {
+		return 1
+	}
+	f := (1 - math.Exp(-ad)) / ad
+	return f * f
+}
+
+// DiesPerWafer estimates gross dies per wafer for square dies of the given
+// area, using the standard circle-packing approximation with edge loss.
+func (p Process) DiesPerWafer(areaMM2 float64) int {
+	if areaMM2 <= 0 {
+		return 0
+	}
+	side := math.Sqrt(areaMM2) + p.ScribeMM
+	d := p.WaferDiameterMM
+	gross := math.Pi*d*d/(4*side*side) - math.Pi*d/math.Sqrt2/side
+	if gross < 0 {
+		return 0
+	}
+	return int(gross)
+}
+
+// DieCostUSD returns the cost of one known-good die of the given area:
+// wafer cost amortized over yielded dies plus KGD test.
+func (p Process) DieCostUSD(areaMM2 float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	gross := p.DiesPerWafer(areaMM2)
+	if gross == 0 {
+		return 0, fmt.Errorf("fab: die of %.1f mm² does not fit the wafer", areaMM2)
+	}
+	good := float64(gross) * p.Yield(areaMM2)
+	if good < 1 {
+		return 0, fmt.Errorf("fab: %.1f mm² die yields below one good die per wafer", areaMM2)
+	}
+	return p.WaferCostUSD/good + p.KGDTestUSD, nil
+}
+
+// SystemCost is the manufacturing cost breakdown of one multichip package.
+type SystemCost struct {
+	Chiplets       int
+	ChipletAreaMM2 float64
+	DieYield       float64
+	DieCostUSD     float64 // per known-good die
+	SiliconUSD     float64 // chiplets × die cost
+	AssemblyUSD    float64 // bonding + assembly-yield loss
+	TotalUSD       float64
+}
+
+// String summarizes the cost.
+func (c SystemCost) String() string {
+	return fmt.Sprintf("%d × %.2f mm² (yield %.1f%%): silicon $%.2f + assembly $%.2f = $%.2f",
+		c.Chiplets, c.ChipletAreaMM2, c.DieYield*100, c.SiliconUSD, c.AssemblyUSD, c.TotalUSD)
+}
+
+// PackageCost prices a system of n identical chiplets of the given area:
+// known-good dies, per-die assembly, and the assembly-yield loss compounding
+// with the number of placements.
+func (p Process) PackageCost(n int, chipletAreaMM2 float64) (SystemCost, error) {
+	if n < 1 {
+		return SystemCost{}, fmt.Errorf("fab: need at least one chiplet, got %d", n)
+	}
+	die, err := p.DieCostUSD(chipletAreaMM2)
+	if err != nil {
+		return SystemCost{}, err
+	}
+	c := SystemCost{
+		Chiplets:       n,
+		ChipletAreaMM2: chipletAreaMM2,
+		DieYield:       p.Yield(chipletAreaMM2),
+		DieCostUSD:     die,
+		SiliconUSD:     die * float64(n),
+	}
+	// Assembly: each placement costs AssemblyUSDPerDie; a failed placement
+	// scraps the whole partially-built package, so the expected cost divides
+	// by the compound assembly yield.
+	compound := math.Pow(p.AssemblyYield, float64(n))
+	base := c.SiliconUSD + float64(n)*p.AssemblyUSDPerDie
+	c.TotalUSD = base / compound
+	c.AssemblyUSD = c.TotalUSD - c.SiliconUSD
+	return c, nil
+}

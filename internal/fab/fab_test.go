@@ -1,0 +1,151 @@
+package fab
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestProcessValidate(t *testing.T) {
+	good := TSMC16Like()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, mutate := range []func(*Process){
+		func(p *Process) { p.WaferCostUSD = 0 },
+		func(p *Process) { p.WaferDiameterMM = -1 },
+		func(p *Process) { p.DefectsPerMM2 = -0.1 },
+		func(p *Process) { p.AssemblyYield = 0 },
+		func(p *Process) { p.AssemblyYield = 1.1 },
+		func(p *Process) { p.KGDTestUSD = -1 },
+	} {
+		p := good
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestMurphyYield(t *testing.T) {
+	p := TSMC16Like()
+	// Zero-area and zero-defect corner cases.
+	if p.Yield(0) != 1 {
+		t.Error("zero area should yield 1")
+	}
+	zero := p
+	zero.DefectsPerMM2 = 0
+	if zero.Yield(500) != 1 {
+		t.Error("zero defects should yield 1")
+	}
+	// Yield is monotonically decreasing in area.
+	prev := 1.0
+	for _, a := range []float64{1, 6, 25, 100, 400, 800} {
+		y := p.Yield(a)
+		if y <= 0 || y >= prev {
+			t.Errorf("yield(%g) = %f not decreasing", a, y)
+		}
+		prev = y
+	}
+	// Murphy at AD=1: ((1-1/e)/1)^2 ≈ 0.3996.
+	one := Process{DefectsPerMM2: 1}
+	if got := one.Yield(1); math.Abs(got-0.39958) > 1e-3 {
+		t.Errorf("Murphy AD=1 yield = %f", got)
+	}
+}
+
+func TestDiesPerWafer(t *testing.T) {
+	p := TSMC16Like()
+	small := p.DiesPerWafer(2)
+	big := p.DiesPerWafer(700)
+	if small <= big || big <= 0 {
+		t.Errorf("dies per wafer: 2mm²=%d, 700mm²=%d", small, big)
+	}
+	// A 2 mm² die on a 300 mm wafer: tens of thousands.
+	if small < 10000 {
+		t.Errorf("2 mm² dies per wafer = %d, expected >> 10k", small)
+	}
+	if p.DiesPerWafer(0) != 0 {
+		t.Error("zero area should give zero dies")
+	}
+	if p.DiesPerWafer(1e6) != 0 {
+		t.Error("die bigger than wafer should give zero dies")
+	}
+}
+
+func TestDieCostGrowsSuperlinearly(t *testing.T) {
+	p := TSMC16Like()
+	c6, err := p.DieCostUSD(6) // Simba-chiplet class
+	if err != nil {
+		t.Fatal(err)
+	}
+	c600, err := p.DieCostUSD(600) // reticle-class monolithic die
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The "area wall": a 100x bigger die costs far more than 100x.
+	if c600 < 100*c6*1.3 {
+		t.Errorf("600mm² $%.2f should be >130x the 6mm² $%.4f", c600, c6)
+	}
+	if _, err := p.DieCostUSD(1e5); err == nil {
+		t.Error("expected error for wafer-scale die")
+	}
+	bad := p
+	bad.WaferCostUSD = -1
+	if _, err := bad.DieCostUSD(6); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestPackageCostTradeoff(t *testing.T) {
+	p := TSMC16Like()
+	// The same 2048-MAC system as one 2.6 mm² die ×... : compare a
+	// monolithic 10 mm² implementation vs 4 × 2.5 mm² chiplets vs
+	// 8 × 1.25 mm². At these small areas yield is high, so the trade is
+	// driven by assembly; scale areas up to expose the yield win.
+	mono, err := p.PackageCost(1, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := p.PackageCost(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four quarter-size chiplets beat the monolithic die on silicon cost
+	// (§II-B), even after assembly overhead.
+	if quad.TotalUSD >= mono.TotalUSD {
+		t.Errorf("4x100mm² $%.2f should beat 1x400mm² $%.2f", quad.TotalUSD, mono.TotalUSD)
+	}
+	if quad.SiliconUSD >= mono.SiliconUSD {
+		t.Errorf("chiplet silicon $%.2f should beat monolithic $%.2f", quad.SiliconUSD, mono.SiliconUSD)
+	}
+	if quad.AssemblyUSD <= mono.AssemblyUSD {
+		t.Error("chiplets must pay more assembly")
+	}
+	if !strings.Contains(quad.String(), "silicon") {
+		t.Errorf("String = %q", quad.String())
+	}
+	if _, err := p.PackageCost(0, 10); err == nil {
+		t.Error("expected chiplet-count error")
+	}
+}
+
+// Property: package cost is positive and silicon + assembly = total.
+func TestPackageCostConsistency(t *testing.T) {
+	p := TSMC16Like()
+	f := func(nRaw, aRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		area := float64(aRaw%200) + 1
+		c, err := p.PackageCost(n, area)
+		if err != nil {
+			return true // oversized dies legitimately fail
+		}
+		return c.TotalUSD > 0 &&
+			math.Abs(c.SiliconUSD+c.AssemblyUSD-c.TotalUSD) < 1e-9 &&
+			c.DieYield > 0 && c.DieYield <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,278 @@
+// Package functional is a bit-exact execution harness for mapped layers: it
+// runs a convolution through the mapping's full spatial/temporal
+// decomposition — chiplet regions, package-temporal tiles, core subregions
+// and core-temporal tiles — and verifies against a direct reference
+// implementation that the orchestration computes every output element
+// exactly once. It validates the *semantics* of the mapping hierarchy that
+// the analytical C³P engine only costs.
+package functional
+
+import (
+	"fmt"
+
+	"nnbaton/internal/hardware"
+	"nnbaton/internal/mapping"
+	"nnbaton/internal/workload"
+)
+
+// Input is an input activation tensor indexed [ci][ih][iw], already padded
+// (dimensions IH()×IW() of the layer).
+type Input [][][]int8
+
+// Weights is a weight tensor indexed [co][ciInGroup][r][s].
+type Weights [][][][]int8
+
+// Output is an output tensor indexed [co][ho][wo] with 32-bit accumulators.
+type Output [][][]int32
+
+// NewInput allocates a zeroed input tensor for a layer.
+func NewInput(l workload.Layer) Input {
+	t := make(Input, l.CI)
+	for c := range t {
+		t[c] = make([][]int8, l.IH())
+		for y := range t[c] {
+			t[c][y] = make([]int8, l.IW())
+		}
+	}
+	return t
+}
+
+// NewWeights allocates a zeroed weight tensor for a layer.
+func NewWeights(l workload.Layer) Weights {
+	w := make(Weights, l.CO)
+	for co := range w {
+		w[co] = make([][][]int8, l.CIPerGroup())
+		for ci := range w[co] {
+			w[co][ci] = make([][]int8, l.R)
+			for r := range w[co][ci] {
+				w[co][ci][r] = make([]int8, l.S)
+			}
+		}
+	}
+	return w
+}
+
+func newOutput(l workload.Layer) Output {
+	o := make(Output, l.CO)
+	for c := range o {
+		o[c] = make([][]int32, l.HO)
+		for y := range o[c] {
+			o[c][y] = make([]int32, l.WO)
+		}
+	}
+	return o
+}
+
+// Fill populates tensors with a deterministic pattern derived from seed.
+func Fill(l workload.Layer, seed int64) (Input, Weights) {
+	in, w := NewInput(l), NewWeights(l)
+	x := uint64(seed)*2654435761 + 12345
+	next := func() int8 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return int8(x % 17) // small values keep int32 accumulators safe
+	}
+	for c := range in {
+		for y := range in[c] {
+			for z := range in[c][y] {
+				in[c][y][z] = next()
+			}
+		}
+	}
+	for co := range w {
+		for ci := range w[co] {
+			for r := range w[co][ci] {
+				for s := range w[co][ci][r] {
+					w[co][ci][r][s] = next()
+				}
+			}
+		}
+	}
+	return in, w
+}
+
+// computeRange accumulates the convolution for the output box
+// [co0,co1)×[ho0,ho1)×[wo0,wo1) into out.
+func computeRange(l workload.Layer, in Input, w Weights, out Output, co0, co1, ho0, ho1, wo0, wo1 int) {
+	cig := l.CIPerGroup()
+	for co := co0; co < co1; co++ {
+		group := co / l.COPerGroup()
+		ciBase := group * cig
+		for ho := ho0; ho < ho1; ho++ {
+			for wo := wo0; wo < wo1; wo++ {
+				var acc int32
+				for ci := 0; ci < cig; ci++ {
+					for r := 0; r < l.R; r++ {
+						for s := 0; s < l.S; s++ {
+							iv := in[ciBase+ci][ho*l.StrideH+r][wo*l.StrideW+s]
+							acc += int32(iv) * int32(w[co][ci][r][s])
+						}
+					}
+				}
+				out[co][ho][wo] += acc
+			}
+		}
+	}
+}
+
+// Reference computes the whole layer directly.
+func Reference(l workload.Layer, in Input, w Weights) Output {
+	out := newOutput(l)
+	computeRange(l, in, w, out, 0, l.CO, 0, l.HO, 0, l.WO)
+	return out
+}
+
+// box is a half-open output region [co0,co1)×[ho0,ho1)×[wo0,wo1).
+type box struct{ co0, co1, ho0, ho1, wo0, wo1 int }
+
+func (b box) empty() bool { return b.co0 >= b.co1 || b.ho0 >= b.ho1 || b.wo0 >= b.wo1 }
+
+// share returns the balanced [lo, hi) interval of part idx among n parts.
+func share(total, n, idx int) (int, int) {
+	if n > total {
+		n = total
+	}
+	if idx >= n {
+		return total, total
+	}
+	base, rem := total/n, total%n
+	lo := idx*base + min(idx, rem)
+	hi := lo + base
+	if idx < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// ExecuteMapped runs the layer through the mapping hierarchy: chiplets get
+// balanced spatial regions, package-temporal steps deliver HOt×WOt×COt
+// tiles, cores split each tile per the chiplet spatial primitive, and
+// chiplet-temporal steps deliver HOc×WOc×Lanes core workloads. Each visited
+// output element is counted; the function fails if any element is computed
+// zero times or more than once.
+func ExecuteMapped(l workload.Layer, hw hardware.Config, m mapping.Mapping, in Input, w Weights) (Output, error) {
+	if err := m.Validate(l, hw); err != nil {
+		return nil, err
+	}
+	out := newOutput(l)
+	visits := make([]uint8, l.CO*l.HO*l.WO)
+	visit := func(b box) error {
+		for co := b.co0; co < b.co1; co++ {
+			for ho := b.ho0; ho < b.ho1; ho++ {
+				for wo := b.wo0; wo < b.wo1; wo++ {
+					idx := (co*l.HO+ho)*l.WO + wo
+					if visits[idx] != 0 {
+						return fmt.Errorf("functional: output (%d,%d,%d) computed twice", co, ho, wo)
+					}
+					visits[idx] = 1
+				}
+			}
+		}
+		computeRange(l, in, w, out, b.co0, b.co1, b.ho0, b.ho1, b.wo0, b.wo1)
+		return nil
+	}
+
+	for chip := 0; chip < hw.Chiplets; chip++ {
+		region := chipletBox(l, hw, m, chip)
+		if region.empty() {
+			continue
+		}
+		if err := walkChiplet(l, hw, m, region, visit); err != nil {
+			return nil, err
+		}
+	}
+	for idx, v := range visits {
+		if v == 0 {
+			co := idx / (l.HO * l.WO)
+			rest := idx % (l.HO * l.WO)
+			return nil, fmt.Errorf("functional: output (%d,%d,%d) never computed",
+				co, rest/l.WO, rest%l.WO)
+		}
+	}
+	return out, nil
+}
+
+// chipletBox returns chiplet c's output region under the package split.
+func chipletBox(l workload.Layer, hw hardware.Config, m mapping.Mapping, c int) box {
+	if m.PackageSpatial == mapping.SpatialC {
+		lo, hi := share(l.CO, hw.Chiplets, c)
+		return box{lo, hi, 0, l.HO, 0, l.WO}
+	}
+	r, cc := c/m.PackagePattern.Cols, c%m.PackagePattern.Cols
+	h0, h1 := share(l.HO, m.PackagePattern.Rows, r)
+	w0, w1 := share(l.WO, m.PackagePattern.Cols, cc)
+	return box{0, l.CO, h0, h1, w0, w1}
+}
+
+// walkChiplet iterates the package-temporal tiles of one chiplet region and
+// the chiplet spatial/temporal hierarchy below each tile.
+func walkChiplet(l workload.Layer, hw hardware.Config, m mapping.Mapping, region box, visit func(box) error) error {
+	for co := region.co0; co < region.co1; co += m.COt {
+		for ho := region.ho0; ho < region.ho1; ho += m.HOt {
+			for wo := region.wo0; wo < region.wo1; wo += m.WOt {
+				tile := box{
+					co, min(co+m.COt, region.co1),
+					ho, min(ho+m.HOt, region.ho1),
+					wo, min(wo+m.WOt, region.wo1),
+				}
+				if err := walkCores(l, hw, m, tile, visit); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// walkCores splits one chiplet tile across the cores and iterates their
+// core-temporal workloads.
+func walkCores(l workload.Layer, hw hardware.Config, m mapping.Mapping, tile box, visit func(box) error) error {
+	csplit := max(1, m.ChipletCSplit)
+	for core := 0; core < hw.Cores; core++ {
+		ci := core % csplit
+		pi := core / csplit
+		pr, pc := pi/m.ChipletPattern.Cols, pi%m.ChipletPattern.Cols
+		c0, c1 := share(tile.co1-tile.co0, csplit, ci)
+		h0, h1 := share(tile.ho1-tile.ho0, m.ChipletPattern.Rows, pr)
+		w0, w1 := share(tile.wo1-tile.wo0, m.ChipletPattern.Cols, pc)
+		sub := box{tile.co0 + c0, tile.co0 + c1, tile.ho0 + h0, tile.ho0 + h1, tile.wo0 + w0, tile.wo0 + w1}
+		if sub.empty() {
+			continue
+		}
+		// Core-temporal workloads: HOc×WOc×Lanes blocks.
+		for co := sub.co0; co < sub.co1; co += hw.Lanes {
+			for ho := sub.ho0; ho < sub.ho1; ho += m.HOc {
+				for wo := sub.wo0; wo < sub.wo1; wo += m.WOc {
+					wl := box{
+						co, min(co+hw.Lanes, sub.co1),
+						ho, min(ho+m.HOc, sub.ho1),
+						wo, min(wo+m.WOc, sub.wo1),
+					}
+					if err := visit(wl); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Equal compares two outputs element-wise.
+func Equal(a, b Output) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("functional: channel counts differ: %d vs %d", len(a), len(b))
+	}
+	for co := range a {
+		for ho := range a[co] {
+			for wo := range a[co][ho] {
+				if a[co][ho][wo] != b[co][ho][wo] {
+					return fmt.Errorf("functional: mismatch at (%d,%d,%d): %d vs %d",
+						co, ho, wo, a[co][ho][wo], b[co][ho][wo])
+				}
+			}
+		}
+	}
+	return nil
+}

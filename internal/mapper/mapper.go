@@ -1,0 +1,356 @@
+// Package mapper implements NN-Baton's post-design flow (§IV-D): the
+// exhaustive per-layer search over the hierarchical mapping space — two
+// package-level and three chiplet-level spatial primitives, the 2×2 temporal
+// orders, partition patterns with different height:width ratios, and tile
+// sizes — evaluated through the C³P engine.
+package mapper
+
+import (
+	"fmt"
+	"sort"
+
+	"nnbaton/internal/c3p"
+	"nnbaton/internal/energy"
+	"nnbaton/internal/hardware"
+	"nnbaton/internal/mapping"
+	"nnbaton/internal/sim"
+	"nnbaton/internal/workload"
+)
+
+// Objective selects the metric the search minimizes.
+type Objective int
+
+const (
+	// MinEnergy minimizes the total layer energy (the paper's per-layer
+	// mapping objective).
+	MinEnergy Objective = iota
+	// MinEDP minimizes energy × runtime.
+	MinEDP
+)
+
+// Option is one evaluated mapping candidate.
+type Option struct {
+	Analysis *c3p.Analysis
+	Energy   energy.Breakdown
+	Cycles   int64
+}
+
+// EDP returns the candidate's energy-delay product in pJ·s.
+func (o Option) EDP() float64 {
+	return energy.EDP(o.Energy, hardware.Seconds(o.Cycles))
+}
+
+// SpatialCombo renders the (package, chiplet) partition pair, e.g. "(C,H)" —
+// the x-axis categories of Fig 11.
+func (o Option) SpatialCombo() string {
+	return fmt.Sprintf("(%v,%v)", o.Analysis.Map.PackageSpatial, o.Analysis.Map.ChipletSpatial)
+}
+
+// ceilDiv returns ⌈a/b⌉ for positive b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// splitSeries are the tiling factors tried per dimension.
+var splitSeries = []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
+
+// tileCandidates returns deduplicated candidate tile extents ⌈dim/n⌉ for the
+// split series, largest first.
+func tileCandidates(dim, limit int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, n := range splitSeries {
+		if n > dim {
+			break
+		}
+		t := ceilDiv(dim, n)
+		if t > limit || seen[t] {
+			continue
+		}
+		seen[t] = true
+		out = append(out, t)
+	}
+	if len(out) == 0 && dim >= 1 {
+		out = append(out, min(dim, max(1, limit)))
+	}
+	return out
+}
+
+// planarPairs generates (HOt, WOt) candidates for a region: a square-biased
+// series plus row- and column-stripe variants (the pattern ratios of §IV-C).
+func planarPairs(h, w int) [][2]int {
+	seen := make(map[[2]int]bool)
+	var out [][2]int
+	add := func(th, tw int) {
+		if th < 1 || tw < 1 || th > h || tw > w {
+			return
+		}
+		p := [2]int{th, tw}
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		add(ceilDiv(h, n), ceilDiv(w, n)) // square-biased
+		add(ceilDiv(h, n), w)             // row stripes
+		add(h, ceilDiv(w, n))             // column stripes
+		add(ceilDiv(h, n*n), w)           // fine row stripes
+	}
+	return out
+}
+
+// coreTilePairs generates (HOc, WOc) candidates bounded by the O-L1 psum
+// capacity and the A-L1 streaming constraint.
+func coreTilePairs(l workload.Layer, hw hardware.Config, hs, ws int) [][2]int {
+	maxElems := hw.OL1Bytes / (3 * hw.Lanes)
+	if maxElems < 1 {
+		maxElems = 1
+	}
+	ci := min(hw.Vector, l.CI)
+	fits := func(th, tw int) bool {
+		if th*tw > maxElems {
+			return false
+		}
+		return 2*l.TileInputBytes(th, tw, ci) <= int64(hw.AL1Bytes)
+	}
+	seen := make(map[[2]int]bool)
+	var out [][2]int
+	add := func(th, tw int) {
+		th, tw = min(th, hs), min(tw, ws)
+		if th < 1 || tw < 1 || !fits(th, tw) {
+			return
+		}
+		p := [2]int{th, tw}
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	// Largest feasible square, then smaller squares and stripes.
+	for s := 8; s >= 1; s-- {
+		add(s, s)
+	}
+	add(1, maxElems)
+	add(1, min(maxElems, ws))
+	add(2, maxElems/2)
+	add(1, 4)
+	return out
+}
+
+// chipletSplits enumerates the chiplet-level spatial alternatives for a
+// hardware configuration: C, P (all grid patterns) and H (all proper
+// csplit×grid factorizations).
+type chipletSplit struct {
+	kind    mapping.Spatial
+	csplit  int
+	pattern mapping.Pattern
+}
+
+func chipletSplits(hw hardware.Config) []chipletSplit {
+	var out []chipletSplit
+	out = append(out, chipletSplit{mapping.SpatialC, hw.Cores, mapping.Pattern{Rows: 1, Cols: 1}})
+	for _, p := range mapping.GridPatterns(hw.Cores) {
+		out = append(out, chipletSplit{mapping.SpatialP, 1, p})
+	}
+	for cs := 2; cs < hw.Cores; cs++ {
+		if hw.Cores%cs != 0 {
+			continue
+		}
+		for _, p := range mapping.GridPatterns(hw.Cores / cs) {
+			out = append(out, chipletSplit{mapping.SpatialH, cs, p})
+		}
+	}
+	return out
+}
+
+// packageSplits enumerates the package-level spatial alternatives: C plus
+// every grid pattern of the P-type planar split.
+type packageSplit struct {
+	kind    mapping.Spatial
+	pattern mapping.Pattern
+}
+
+func packageSplits(hw hardware.Config) []packageSplit {
+	out := []packageSplit{{mapping.SpatialC, mapping.Pattern{}}}
+	for _, p := range mapping.GridPatterns(hw.Chiplets) {
+		out = append(out, packageSplit{mapping.SpatialP, p})
+	}
+	return out
+}
+
+// Config tunes the search.
+type Config struct {
+	Objective Objective
+	// KeepTop retains the best K options (by objective) in SearchAll.
+	KeepTop int
+	// Rotate controls the rotating-transfer primitive (default on for
+	// multichip packages; disable for the ablation study).
+	DisableRotation bool
+}
+
+// Search returns the optimal mapping option for one layer, or an error if no
+// valid mapping exists.
+func Search(l workload.Layer, hw hardware.Config, cm *hardware.CostModel, cfg Config) (Option, error) {
+	opts := SearchAll(l, hw, cm, Config{Objective: cfg.Objective, KeepTop: 1, DisableRotation: cfg.DisableRotation})
+	if len(opts) == 0 {
+		return Option{}, fmt.Errorf("mapper: no valid mapping for %s on %s", l.String(), hw.Tuple())
+	}
+	return opts[0], nil
+}
+
+// enumerate walks the mapping space, evaluating every valid candidate
+// through the C³P engine and the runtime simulator, and yields each option.
+func enumerate(l workload.Layer, hw hardware.Config, cm *hardware.CostModel, cfg Config, yield func(Option)) {
+	rotate := hw.Chiplets > 1 && !cfg.DisableRotation
+
+	consider := func(m mapping.Mapping) {
+		a, err := c3p.Analyze(l, hw, m)
+		if err != nil {
+			return
+		}
+		tr := a.Traffic()
+		br := energy.FromTraffic(tr, hw, cm)
+		res, err := sim.SimulateTraffic(a, tr)
+		if err != nil {
+			return
+		}
+		yield(Option{Analysis: a, Energy: br, Cycles: res.Cycles})
+	}
+
+	for _, ps := range packageSplits(hw) {
+		base := mapping.Mapping{
+			PackageSpatial: ps.kind, PackagePattern: ps.pattern, Rotate: rotate,
+		}
+		// Region after the package split.
+		hop, wop, cop := l.HO, l.WO, l.CO
+		if ps.kind == mapping.SpatialC {
+			if l.CO < hw.Chiplets {
+				continue
+			}
+			cop = ceilDiv(l.CO, hw.Chiplets)
+		} else {
+			if ps.pattern.Rows > l.HO || ps.pattern.Cols > l.WO {
+				continue
+			}
+			hop = ceilDiv(l.HO, ps.pattern.Rows)
+			wop = ceilDiv(l.WO, ps.pattern.Cols)
+		}
+		for _, cs := range chipletSplits(hw) {
+			for _, cot := range tileCandidates(cop, cop) {
+				if cot < cs.csplit {
+					continue
+				}
+				for _, pp := range planarPairs(hop, wop) {
+					hot, wot := pp[0], pp[1]
+					if cs.pattern.Rows > hot || cs.pattern.Cols > wot {
+						continue
+					}
+					hs, ws := ceilDiv(hot, cs.pattern.Rows), ceilDiv(wot, cs.pattern.Cols)
+					for _, cp := range coreTilePairs(l, hw, hs, ws) {
+						// Temporal orders only matter when both the channel
+						// and a planar loop of that level have trips > 1;
+						// degenerate levels evaluate a single order.
+						probe := base
+						probe.ChipletSpatial, probe.ChipletCSplit, probe.ChipletPattern = cs.kind, cs.csplit, cs.pattern
+						probe.COt, probe.HOt, probe.WOt = cot, hot, wot
+						probe.HOc, probe.WOc = cp[0], cp[1]
+						sh := probe.Shape(l, hw)
+						pkgOrders := temporalChoices(sh.C1, sh.H1*sh.W1)
+						chipOrders := temporalChoices(sh.C2, sh.H2*sh.W2)
+						for _, pt := range pkgOrders {
+							for _, ct := range chipOrders {
+								m := probe
+								m.PackageTemporal, m.ChipletTemporal = pt, ct
+								consider(m)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// temporalChoices returns both loop orders when a level has live channel and
+// planar loops, and a single order otherwise (the nest is order-invariant).
+func temporalChoices(cTrips, planarTrips int) []mapping.Temporal {
+	if cTrips > 1 && planarTrips > 1 {
+		return []mapping.Temporal{mapping.ChannelPriority, mapping.PlanePriority}
+	}
+	return []mapping.Temporal{mapping.ChannelPriority}
+}
+
+// score returns the objective value of an option.
+func score(o Option, obj Objective) float64 {
+	if obj == MinEDP {
+		return o.EDP()
+	}
+	return o.Energy.Total()
+}
+
+// SearchAll exhaustively evaluates the mapping space and returns the best
+// KeepTop options sorted by the objective. The top-K set is maintained
+// online so the full candidate stream is never materialized.
+func SearchAll(l workload.Layer, hw hardware.Config, cm *hardware.CostModel, cfg Config) []Option {
+	if cfg.KeepTop <= 0 {
+		cfg.KeepTop = 8
+	}
+	var top []Option
+	enumerate(l, hw, cm, cfg, func(o Option) {
+		s := score(o, cfg.Objective)
+		i := sort.Search(len(top), func(i int) bool { return score(top[i], cfg.Objective) > s })
+		if i >= cfg.KeepTop {
+			return
+		}
+		top = append(top, Option{})
+		copy(top[i+1:], top[i:])
+		top[i] = o
+		if len(top) > cfg.KeepTop {
+			top = top[:cfg.KeepTop]
+		}
+	})
+	return top
+}
+
+// BestPerSpatialCombo returns the best option for each (package, chiplet)
+// spatial pair — the bars of Fig 11. Combos with no valid mapping are
+// omitted (e.g. (C,C) on layers with too few output channels).
+func BestPerSpatialCombo(l workload.Layer, hw hardware.Config, cm *hardware.CostModel) map[string]Option {
+	best := make(map[string]Option)
+	enumerate(l, hw, cm, Config{}, func(o Option) {
+		k := o.SpatialCombo()
+		if cur, ok := best[k]; !ok || o.Energy.Total() < cur.Energy.Total() {
+			best[k] = o
+		}
+	})
+	return best
+}
+
+// ModelResult aggregates the optimal per-layer mappings over a whole model.
+type ModelResult struct {
+	Model   workload.Model
+	Layers  []Option
+	Energy  energy.Breakdown
+	Cycles  int64
+	Skipped []string // layers with no valid mapping
+}
+
+// SearchModel maps every layer of a model with the per-layer optimal
+// strategy ("NN-Baton provides a distinct mapping strategy layer-wise",
+// §VI-A1) and aggregates energy and runtime.
+func SearchModel(m workload.Model, hw hardware.Config, cm *hardware.CostModel, cfg Config) (ModelResult, error) {
+	res := ModelResult{Model: m}
+	for _, l := range m.Layers {
+		opt, err := Search(l, hw, cm, cfg)
+		if err != nil {
+			res.Skipped = append(res.Skipped, l.Name)
+			continue
+		}
+		res.Layers = append(res.Layers, opt)
+		res.Energy = res.Energy.Add(opt.Energy)
+		res.Cycles += opt.Cycles
+	}
+	if len(res.Layers) == 0 {
+		return res, fmt.Errorf("mapper: no layer of %s maps onto %s", m.Name, hw.Tuple())
+	}
+	return res, nil
+}

@@ -1,0 +1,118 @@
+package noc
+
+import (
+	"testing"
+
+	"nnbaton/internal/mapping"
+	"nnbaton/internal/workload"
+)
+
+func layoutLayer() workload.Layer {
+	return workload.Layer{Model: "t", Name: "conv", HO: 512, WO: 512, CO: 64, CI: 64,
+		R: 3, S: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+}
+
+func TestAnalyzeLayoutValidation(t *testing.T) {
+	l := layoutLayer()
+	if _, err := AnalyzeLayout(workload.Layer{}, mapping.Pattern{Rows: 2, Cols: 2}, 4, RowInterleaved); err == nil {
+		t.Error("expected layer validation error")
+	}
+	if _, err := AnalyzeLayout(l, mapping.Pattern{Rows: 2, Cols: 2}, 0, RowInterleaved); err == nil {
+		t.Error("expected channel validation error")
+	}
+	if _, err := AnalyzeLayout(l, mapping.Pattern{}, 4, RowInterleaved); err == nil {
+		t.Error("expected pattern validation error")
+	}
+	if _, err := AnalyzeLayout(l, mapping.Pattern{Rows: 2, Cols: 2}, 4, Layout(9)); err == nil {
+		t.Error("expected layout validation error")
+	}
+}
+
+func TestLayoutStringer(t *testing.T) {
+	if RowInterleaved.String() == "" || RegionAligned.String() == "" {
+		t.Error("unnamed layouts")
+	}
+	if Layout(9).String() != "Layout(9)" {
+		t.Error("unknown layout formatting")
+	}
+}
+
+func TestRegionAlignedKeepsTrafficLocal(t *testing.T) {
+	l := layoutLayer()
+	p := mapping.Pattern{Rows: 4, Cols: 1} // rectangle rows
+	inter, err := AnalyzeLayout(l, p, 4, RowInterleaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aligned, err := AnalyzeLayout(l, p, 4, RegionAligned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row interleaving sends ~3/4 of all reads to remote channels; aligning
+	// regions with channels leaves only the halo remote.
+	if inter.RemoteBytes <= aligned.RemoteBytes {
+		t.Errorf("interleaved remote %d should exceed aligned %d",
+			inter.RemoteBytes, aligned.RemoteBytes)
+	}
+	if frac := float64(aligned.RemoteBytes) / float64(aligned.TotalBytes); frac > 0.05 {
+		t.Errorf("aligned remote fraction %.3f should be just the halo", frac)
+	}
+	if frac := float64(inter.RemoteBytes) / float64(inter.TotalBytes); frac < 0.5 {
+		t.Errorf("interleaved remote fraction %.3f should be large", frac)
+	}
+}
+
+func TestLayoutConservation(t *testing.T) {
+	l := layoutLayer()
+	for _, layout := range []Layout{RowInterleaved, RegionAligned} {
+		for _, p := range []mapping.Pattern{{Rows: 2, Cols: 2}, {Rows: 1, Cols: 4}, {Rows: 4, Cols: 1}} {
+			prof, err := AnalyzeLayout(l, p, 4, layout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum int64
+			for _, b := range prof.ChannelBytes {
+				sum += b
+			}
+			if sum != prof.TotalBytes {
+				t.Errorf("%v %v: channel sum %d != total %d", layout, p, sum, prof.TotalBytes)
+			}
+			if prof.RemoteBytes > prof.TotalBytes {
+				t.Errorf("%v %v: remote exceeds total", layout, p)
+			}
+			if prof.Imbalance < 1.0 {
+				t.Errorf("%v %v: imbalance %.3f below 1", layout, p, prof.Imbalance)
+			}
+			// Total demand covers the input at least once (halo rereads on
+			// row splits).
+			if prof.TotalBytes < l.InputBytes() {
+				t.Errorf("%v %v: total %d below input volume %d", layout, p, prof.TotalBytes, l.InputBytes())
+			}
+		}
+	}
+}
+
+func TestRowInterleavedBalance(t *testing.T) {
+	l := layoutLayer()
+	prof, err := AnalyzeLayout(l, mapping.Pattern{Rows: 2, Cols: 2}, 4, RowInterleaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Striping rows round-robin balances channel load almost perfectly.
+	if prof.Imbalance > 1.05 {
+		t.Errorf("row-interleaved imbalance %.3f too high", prof.Imbalance)
+	}
+}
+
+func TestColumnStripeHasNoRowHalo(t *testing.T) {
+	l := layoutLayer()
+	// A 1x4 column-stripe split reads each input row exactly once per
+	// column share: total equals the input volume (no row halo).
+	prof, err := AnalyzeLayout(l, mapping.Pattern{Rows: 1, Cols: 4}, 4, RowInterleaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.TotalBytes != l.InputBytes() {
+		t.Errorf("column stripes total %d, want %d", prof.TotalBytes, l.InputBytes())
+	}
+}

@@ -1,0 +1,87 @@
+// Package noc models the on-package interconnect substrate of §III-A3: a
+// directional ring connecting 1–8 chiplets for the rotating transfer, and a
+// crossbar attaching the chiplets to the package DRAMs.
+package noc
+
+import (
+	"fmt"
+
+	"nnbaton/internal/hardware"
+)
+
+// HopLatencyCycles is the fixed synchronization latency of one rotation
+// round on the directional ring (serializer, D2D PHY and handshake).
+const HopLatencyCycles = 20
+
+// Ring is the directional on-package ring.
+type Ring struct {
+	Chiplets      int
+	BytesPerCycle float64 // per directional link (GRS)
+}
+
+// NewRing returns a ring over n chiplets with the default GRS link bandwidth.
+func NewRing(n int) (*Ring, error) {
+	if n < 1 || n > 8 {
+		return nil, fmt.Errorf("noc: ring supports 1-8 chiplets, got %d", n)
+	}
+	return &Ring{Chiplets: n, BytesPerCycle: hardware.D2DBytesPerCycle}, nil
+}
+
+// Rounds returns the number of rotation rounds needed for every chiplet to
+// observe every chunk: N_P − 1.
+func (r *Ring) Rounds() int { return max(0, r.Chiplets-1) }
+
+// RotationCycles returns the cycles to fully rotate per-chiplet chunks of the
+// given size. All links transfer concurrently each round, so the time is
+// rounds × per-hop time.
+func (r *Ring) RotationCycles(chunkBytes int64) int64 {
+	if r.Chiplets <= 1 || chunkBytes <= 0 {
+		return 0
+	}
+	return int64(r.Rounds()) * r.HopCycles(chunkBytes)
+}
+
+// RotationTrafficBytes returns the total link bytes moved by a full rotation
+// of per-chiplet chunks: every chunk takes N_P−1 hops.
+func (r *Ring) RotationTrafficBytes(chunkBytes int64) int64 {
+	return int64(r.Rounds()) * chunkBytes * int64(r.Chiplets)
+}
+
+// HopCycles returns the cycles for one chiplet-to-neighbor transfer.
+func (r *Ring) HopCycles(bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return int64(float64(bytes)/r.BytesPerCycle + 0.999999)
+}
+
+// Crossbar attaches chiplets to the package DRAM channels (§IV-C integrates
+// one DRAM per chiplet so that four chiplets see four DRAMs).
+type Crossbar struct {
+	Channels      int
+	BytesPerCycle float64 // per DRAM channel
+}
+
+// NewCrossbar returns a crossbar with one channel per chiplet at the default
+// DRAM channel bandwidth.
+func NewCrossbar(chiplets int) (*Crossbar, error) {
+	if chiplets < 1 {
+		return nil, fmt.Errorf("noc: need at least one channel, got %d", chiplets)
+	}
+	return &Crossbar{Channels: chiplets, BytesPerCycle: hardware.DRAMBytesPerCycle}, nil
+}
+
+// LoadCycles returns the cycles to satisfy per-chiplet DRAM demands. Each
+// chiplet primarily streams from its own channel; conflictDegree is the
+// maximum number of chiplets contending for the same data (Fig 8) and
+// serializes that fraction of the traffic.
+func (x *Crossbar) LoadCycles(perChipletBytes int64, conflictDegree int) int64 {
+	if perChipletBytes <= 0 {
+		return 0
+	}
+	if conflictDegree < 1 {
+		conflictDegree = 1
+	}
+	eff := x.BytesPerCycle / float64(conflictDegree)
+	return int64(float64(perChipletBytes)/eff + 0.999999)
+}

@@ -1,0 +1,83 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRingBounds(t *testing.T) {
+	for _, n := range []int{0, -1, 9, 100} {
+		if _, err := NewRing(n); err == nil {
+			t.Errorf("NewRing(%d) should fail", n)
+		}
+	}
+	r, err := NewRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rounds() != 3 {
+		t.Errorf("Rounds = %d, want 3", r.Rounds())
+	}
+	one, _ := NewRing(1)
+	if one.Rounds() != 0 || one.RotationCycles(1000) != 0 {
+		t.Error("single chiplet must not rotate")
+	}
+}
+
+func TestRotationAccounting(t *testing.T) {
+	r, _ := NewRing(4)
+	// 1000-byte chunks: each of 4 chunks takes 3 hops = 12000 link bytes.
+	if got := r.RotationTrafficBytes(1000); got != 12000 {
+		t.Errorf("RotationTrafficBytes = %d, want 12000", got)
+	}
+	// Time: 3 rounds of one concurrent hop each.
+	hop := r.HopCycles(1000)
+	if got := r.RotationCycles(1000); got != 3*hop {
+		t.Errorf("RotationCycles = %d, want %d", got, 3*hop)
+	}
+	if r.HopCycles(0) != 0 || r.RotationCycles(-5) != 0 {
+		t.Error("non-positive bytes must cost zero cycles")
+	}
+}
+
+func TestCrossbar(t *testing.T) {
+	if _, err := NewCrossbar(0); err == nil {
+		t.Error("NewCrossbar(0) should fail")
+	}
+	x, err := NewCrossbar(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := x.LoadCycles(16000, 1)
+	if base <= 0 {
+		t.Fatal("expected positive load time")
+	}
+	// Conflict degree 2 halves the effective bandwidth.
+	if got := x.LoadCycles(16000, 2); got < 2*base-1 || got > 2*base+1 {
+		t.Errorf("conflicted load = %d, want ~%d", got, 2*base)
+	}
+	// Degenerate inputs.
+	if x.LoadCycles(0, 1) != 0 {
+		t.Error("zero bytes should be free")
+	}
+	if x.LoadCycles(100, 0) != x.LoadCycles(100, 1) {
+		t.Error("conflict < 1 should clamp to 1")
+	}
+}
+
+// Property: hop time is monotone in bytes and covers the bandwidth bound.
+func TestHopCyclesProperty(t *testing.T) {
+	r, _ := NewRing(8)
+	f := func(b uint32) bool {
+		bytes := int64(b % 1_000_000)
+		c := r.HopCycles(bytes)
+		if bytes == 0 {
+			return c == 0
+		}
+		lower := float64(bytes) / r.BytesPerCycle
+		return float64(c) >= lower && float64(c) < lower+1.0001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

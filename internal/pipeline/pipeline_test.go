@@ -1,0 +1,144 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"nnbaton/internal/c3p"
+	"nnbaton/internal/hardware"
+	"nnbaton/internal/workload"
+)
+
+func TestPlanChainsVGG(t *testing.T) {
+	m := workload.VGG16(224)
+	hw := hardware.CaseStudy()
+	sch, err := Plan(m, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Groups partition the layer list exactly.
+	covered := 0
+	prevEnd := -1
+	for _, g := range sch.Groups {
+		if g.Start != prevEnd+1 || g.End < g.Start {
+			t.Fatalf("non-contiguous groups: %+v", sch.Groups)
+		}
+		covered += g.Len()
+		prevEnd = g.End
+	}
+	if covered != len(m.Layers) {
+		t.Fatalf("groups cover %d of %d layers", covered, len(m.Layers))
+	}
+	// The early VGG layers have feature maps far above the A-L2 budget
+	// (224x224x64 = 3.2MB vs 4x64KB/2 = 128KB), so they must not fuse;
+	// late 14x14x512 layers (100KB) must fuse.
+	if sch.FusedEdges() == 0 {
+		t.Error("expected some fused edges in VGG-16")
+	}
+	first := sch.Groups[0]
+	if first.Len() != 1 {
+		t.Errorf("conv1 group should be singleton, got %+v", first)
+	}
+	if !strings.Contains(sch.String(), "VGG-16") {
+		t.Errorf("String = %q", sch.String())
+	}
+}
+
+func TestPlanRespectsBranches(t *testing.T) {
+	m := workload.ResNet50(224)
+	hw := hardware.CaseStudy()
+	sch, err := Plan(m, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// res2a_branch1 (CO=256) is followed in the flat list by res2a_branch2a
+	// (CI=64): not chainable, so no group may span that boundary.
+	idx := -1
+	for i, l := range m.Layers {
+		if l.Name == "res2a_branch1" {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatal("missing res2a_branch1")
+	}
+	for _, g := range sch.Groups {
+		if g.Start <= idx && g.End > idx {
+			t.Errorf("group %+v fuses across the branch boundary at %d", g, idx)
+		}
+	}
+}
+
+func TestApplyMovesDRAMToAL2(t *testing.T) {
+	m := workload.Model{Name: "chain", Resolution: 16, Layers: []workload.Layer{
+		{Model: "chain", Name: "a", HO: 16, WO: 16, CO: 32, CI: 8, R: 3, S: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		{Model: "chain", Name: "b", HO: 16, WO: 16, CO: 32, CI: 32, R: 3, S: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+	}}
+	hw := hardware.CaseStudy()
+	sch, err := Plan(m, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.FusedEdges() != 1 {
+		t.Fatalf("expected one fused edge, got %+v", sch.Groups)
+	}
+	inter := m.Layers[0].OutputBytes()
+	perLayer := []c3p.Traffic{
+		{DRAMOutWrites: inter, DRAMActReads: 1000},
+		{DRAMOutWrites: 999, DRAMActReads: 3 * inter},
+	}
+	sv, fused, err := Evaluate(sch, perLayer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused[0].DRAMOutWrites != 0 || fused[0].AL2Writes != inter {
+		t.Errorf("producer rewrite: %+v", fused[0])
+	}
+	if fused[1].DRAMActReads != 2*inter || fused[1].AL2Reads != inter {
+		t.Errorf("consumer rewrite: %+v", fused[1])
+	}
+	if sv.SavedDRAMBytes != 2*inter {
+		t.Errorf("saved = %d, want %d", sv.SavedDRAMBytes, 2*inter)
+	}
+	// The original records are untouched.
+	if perLayer[0].DRAMOutWrites != inter {
+		t.Error("Apply mutated its input")
+	}
+}
+
+func TestApplyClampsToAvailableTraffic(t *testing.T) {
+	m := workload.Model{Name: "chain", Resolution: 16, Layers: []workload.Layer{
+		{Model: "chain", Name: "a", HO: 16, WO: 16, CO: 32, CI: 8, R: 3, S: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		{Model: "chain", Name: "b", HO: 16, WO: 16, CO: 32, CI: 32, R: 3, S: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+	}}
+	sch, err := Plan(m, hardware.CaseStudy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perLayer := []c3p.Traffic{{DRAMOutWrites: 10}, {DRAMActReads: 5}}
+	fused, err := Apply(sch, perLayer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused[0].DRAMOutWrites < 0 || fused[1].DRAMActReads < 0 {
+		t.Errorf("negative traffic after clamping: %+v", fused)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Plan(workload.Model{Name: "empty"}, hardware.CaseStudy()); err == nil {
+		t.Error("expected empty-model error")
+	}
+	bad := hardware.CaseStudy()
+	bad.Chiplets = 0
+	if _, err := Plan(workload.VGG16(224), bad); err == nil {
+		t.Error("expected hardware validation error")
+	}
+	sch, err := Plan(workload.VGG16(224), hardware.CaseStudy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(sch, nil); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+}

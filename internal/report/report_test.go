@@ -1,0 +1,71 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("demo", "name", "value")
+	tb.Add("alpha", "1")
+	tb.Add("much-longer-name", "2", "extra")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "== demo ==") {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// Columns align: "value" starts at the same offset in header and rows.
+	off := strings.Index(lines[1], "value")
+	if off < 0 {
+		t.Fatalf("header missing: %q", lines[1])
+	}
+	if got := strings.Index(lines[3], "1"); got != off {
+		t.Errorf("row value at %d, header at %d:\n%s", got, off, out)
+	}
+	// Extra cells beyond the header survive.
+	if !strings.Contains(lines[4], "extra") {
+		t.Errorf("extra cell dropped: %q", lines[4])
+	}
+	// No trailing spaces.
+	for i, ln := range lines {
+		if ln != strings.TrimRight(ln, " ") {
+			t.Errorf("line %d has trailing spaces: %q", i, ln)
+		}
+	}
+}
+
+func TestTableWithoutTitleOrHeader(t *testing.T) {
+	tb := &Table{}
+	tb.Add("only", "row")
+	out := tb.String()
+	if strings.Contains(out, "==") {
+		t.Errorf("unexpected title: %q", out)
+	}
+	if !strings.Contains(out, "only") {
+		t.Errorf("row missing: %q", out)
+	}
+}
+
+func TestAddf(t *testing.T) {
+	tb := New("t", "a", "b")
+	tb.Addf(42, 3.14159265)
+	out := tb.String()
+	if !strings.Contains(out, "42") || !strings.Contains(out, "3.142") {
+		t.Errorf("Addf formatting: %q", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if UJ(2.5e6) != "2.50" {
+		t.Errorf("UJ = %q", UJ(2.5e6))
+	}
+	if MS(0.0015) != "1.500" {
+		t.Errorf("MS = %q", MS(0.0015))
+	}
+	if Pct(0.225) != "22.5%" {
+		t.Errorf("Pct = %q", Pct(0.225))
+	}
+}

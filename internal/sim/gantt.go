@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Gantt renders an ASCII timeline of a trace's event log — the critical
+// chiplet's load/compute pipeline — to visualize double-buffering overlap
+// and stalls. width is the number of character columns for the time axis.
+func Gantt(w io.Writer, tr TraceResult, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	if len(tr.Events) == 0 {
+		_, err := fmt.Fprintln(w, "(no events traced)")
+		return err
+	}
+	var span int64
+	for _, e := range tr.Events {
+		span = max(span, e.End)
+	}
+	if span == 0 {
+		span = 1
+	}
+	col := func(cycle int64) int {
+		c := int(cycle * int64(width) / span)
+		return min(c, width-1)
+	}
+	glyph := map[EventKind]byte{EventLoad: 'L', EventCompute: '#', EventRotate: 'R'}
+	// One lane per event kind.
+	for _, kind := range []EventKind{EventLoad, EventCompute} {
+		lane := []byte(strings.Repeat(".", width))
+		for _, e := range tr.Events {
+			if e.Kind != kind {
+				continue
+			}
+			for c := col(e.Start); c <= col(e.End-1) && c < width; c++ {
+				lane[c] = glyph[kind]
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-8s |%s|\n", kind, lane); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-8s 0%*d cycles\n", "", width, span)
+	return err
+}

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"nnbaton/internal/hardware"
+	"nnbaton/internal/mapping"
+	"nnbaton/internal/workload"
+)
+
+func TestTraceBasics(t *testing.T) {
+	a := analyzed(t, simLayer(), hardware.CaseStudy(), simMapping())
+	tr, err := Trace(a, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Cycles <= 0 {
+		t.Fatalf("non-positive makespan: %+v", tr)
+	}
+	if tr.Cycles < ComputeBoundCycles(a)/2 {
+		t.Errorf("trace %d cycles implausibly below compute bound %d", tr.Cycles, ComputeBoundCycles(a))
+	}
+	if len(tr.PerChiplet) != 4 {
+		t.Fatalf("per-chiplet list = %v", tr.PerChiplet)
+	}
+	for c, cy := range tr.PerChiplet {
+		if cy <= 0 || cy > tr.Cycles {
+			t.Errorf("chiplet %d completion %d outside (0, %d]", c, cy, tr.Cycles)
+		}
+	}
+	if tr.Positions == 0 {
+		t.Error("no positions traced")
+	}
+	if tr.Utilization <= 0 || tr.Utilization > 1 {
+		t.Errorf("utilization %f", tr.Utilization)
+	}
+	if !strings.Contains(tr.String(), "cycles") {
+		t.Errorf("String = %q", tr.String())
+	}
+}
+
+func TestTraceEventLog(t *testing.T) {
+	a := analyzed(t, simLayer(), hardware.CaseStudy(), simMapping())
+	tr, err := Trace(a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) == 0 || len(tr.Events) > 8 {
+		t.Fatalf("event log size %d", len(tr.Events))
+	}
+	var lastComputeEnd int64
+	for _, e := range tr.Events {
+		if e.End < e.Start {
+			t.Errorf("event %v ends before it starts", e)
+		}
+		if e.Kind == EventCompute {
+			// Computes on one chiplet are serialized in order.
+			if e.Start < lastComputeEnd {
+				t.Errorf("overlapping computes at position %d", e.Position)
+			}
+			lastComputeEnd = e.End
+		}
+	}
+	// Event kinds have names.
+	for _, k := range []EventKind{EventLoad, EventCompute, EventRotate} {
+		if strings.HasPrefix(k.String(), "EventKind(") {
+			t.Errorf("kind %d unnamed", int(k))
+		}
+	}
+	if EventKind(42).String() != "EventKind(42)" {
+		t.Error("unknown kind formatting")
+	}
+	// maxEvents = 0 keeps no events.
+	tr0, err := Trace(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr0.Events) != 0 {
+		t.Errorf("expected empty log, got %d", len(tr0.Events))
+	}
+}
+
+// The closed-form estimate and the exact-tile trace must agree to within a
+// small factor on a well-dividing workload.
+func TestTraceMatchesClosedForm(t *testing.T) {
+	a := analyzed(t, simLayer(), hardware.CaseStudy(), simMapping())
+	closed, err := Simulate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Trace(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := closed.Cycles/3, closed.Cycles*3
+	if tr.Cycles < lo || tr.Cycles > hi {
+		t.Errorf("trace %d cycles outside [%d, %d] of closed form", tr.Cycles, lo, hi)
+	}
+}
+
+// Non-dividing channel splits leave the remainder chiplet less work: the
+// per-chiplet completion times must expose the imbalance.
+func TestTraceLoadImbalance(t *testing.T) {
+	l := workload.Layer{Model: "t", Name: "odd", HO: 56, WO: 56, CO: 50, CI: 64,
+		R: 3, S: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	m := simMapping()
+	m.COt = 13
+	a := analyzed(t, l, hardware.CaseStudy(), m)
+	tr, err := Trace(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CO=50 over 4 chiplets: 13,13,12,12 — the later chiplets finish no
+	// later than the first.
+	if tr.PerChiplet[3] > tr.PerChiplet[0] {
+		t.Errorf("remainder chiplet slower: %v", tr.PerChiplet)
+	}
+	if tr.Cycles != tr.PerChiplet[0] {
+		t.Errorf("makespan %d should come from the fullest chiplet %v", tr.Cycles, tr.PerChiplet)
+	}
+}
+
+func TestPositionsForTemporalOrders(t *testing.T) {
+	m := simMapping() // HOt=WOt=14, COt=16
+	m.PackageTemporal = mapping.ChannelPriority
+	ps := positionsFor(m, 28, 28, 32)
+	if len(ps) != 2*2*2 {
+		t.Fatalf("positions = %d", len(ps))
+	}
+	// Channel-priority reloads weights on every position.
+	for i, p := range ps {
+		if !p.newChannels {
+			t.Errorf("position %d should reload weights", i)
+		}
+	}
+	m.PackageTemporal = mapping.PlanePriority
+	ps = positionsFor(m, 28, 28, 32)
+	fresh := 0
+	for _, p := range ps {
+		if p.newChannels {
+			fresh++
+		}
+	}
+	// Plane-priority loads weights once per channel tile (2 tiles).
+	if fresh != 2 {
+		t.Errorf("plane-priority weight loads = %d, want 2", fresh)
+	}
+}
+
+func TestPositionsForEdgeClamping(t *testing.T) {
+	m := simMapping()
+	ps := positionsFor(m, 30, 30, 20) // 14-tiles over 30: 14,14,2
+	var sumH int
+	seen := map[int]bool{}
+	for _, p := range ps {
+		if p.hot > 14 || p.wot > 14 || p.cot > 16 {
+			t.Errorf("tile %+v exceeds nominal", p)
+		}
+		if p.hot <= 0 || p.wot <= 0 || p.cot <= 0 {
+			t.Errorf("empty tile %+v", p)
+		}
+		seen[p.hot] = true
+		_ = sumH
+	}
+	if !seen[2] {
+		t.Error("edge tile of extent 2 missing")
+	}
+}
+
+func TestChipletRegionShares(t *testing.T) {
+	l := workload.Layer{HO: 57, WO: 57, CO: 50, CI: 8, R: 3, S: 3, StrideH: 1, StrideW: 1}
+	hw := hardware.CaseStudy()
+	m := simMapping()
+	var totalCO int
+	for c := 0; c < hw.Chiplets; c++ {
+		_, _, co := chipletRegion(l, hw, m, c)
+		totalCO += co
+	}
+	if totalCO != l.CO {
+		t.Errorf("channel shares sum to %d, want %d", totalCO, l.CO)
+	}
+	// P-type split covers the plane exactly.
+	m.PackageSpatial = mapping.SpatialP
+	m.PackagePattern = mapping.Pattern{Rows: 2, Cols: 2}
+	var rows, cols int
+	h0, _, _ := chipletRegion(l, hw, m, 0)
+	h2, _, _ := chipletRegion(l, hw, m, 2)
+	rows = h0 + h2
+	_, w0, _ := chipletRegion(l, hw, m, 0)
+	_, w1, _ := chipletRegion(l, hw, m, 1)
+	cols = w0 + w1
+	if rows != l.HO || cols != l.WO {
+		t.Errorf("plane shares %dx%d, want %dx%d", rows, cols, l.HO, l.WO)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	a := analyzed(t, simLayer(), hardware.CaseStudy(), simMapping())
+	tr, err := Trace(a, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Gantt(&sb, tr, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "load") || !strings.Contains(out, "compute") {
+		t.Errorf("missing lanes:\n%s", out)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "L") {
+		t.Errorf("missing glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "cycles") {
+		t.Errorf("missing axis:\n%s", out)
+	}
+	// Tiny width is clamped, empty trace handled.
+	var sb2 strings.Builder
+	if err := Gantt(&sb2, TraceResult{}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb2.String(), "no events") {
+		t.Errorf("empty trace output = %q", sb2.String())
+	}
+}

@@ -1,0 +1,158 @@
+package simba
+
+import (
+	"testing"
+
+	"nnbaton/internal/energy"
+	"nnbaton/internal/hardware"
+	"nnbaton/internal/mapper"
+	"nnbaton/internal/workload"
+)
+
+var cm = hardware.MustCostModel()
+
+func TestDefaultGrid(t *testing.T) {
+	g := DefaultGrid(hardware.CaseStudy()) // 4 chiplets, 8 cores
+	if g.ChipRows != 2 || g.ChipCols != 2 {
+		t.Errorf("chip grid = %dx%d, want 2x2", g.ChipRows, g.ChipCols)
+	}
+	if g.CoreRows*g.CoreCols != 8 || g.CoreRows < g.CoreCols {
+		t.Errorf("core grid = %dx%d", g.CoreRows, g.CoreCols)
+	}
+	if err := g.Validate(hardware.CaseStudy()); err != nil {
+		t.Fatal(err)
+	}
+	bad := Grid{ChipRows: 3, ChipCols: 1, CoreRows: 2, CoreCols: 4}
+	if err := bad.Validate(hardware.CaseStudy()); err == nil {
+		t.Error("expected grid validation error")
+	}
+}
+
+func TestEvaluateBasics(t *testing.T) {
+	l := workload.Layer{Model: "t", Name: "conv", HO: 56, WO: 56, CO: 64, CI: 64,
+		R: 3, S: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	hw := hardware.CaseStudy()
+	r, err := Evaluate(l, hw, DefaultGrid(hw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := r.Traffic
+	if tr.MACs != l.MACs() {
+		t.Errorf("MACs = %d, want %d", tr.MACs, l.MACs())
+	}
+	// The weight-centric dataflow must move 24-bit partial sums across rows.
+	if tr.D2DPsums == 0 || tr.L2Psum == 0 {
+		t.Errorf("expected psum traffic, got D2D=%d L2=%d", tr.D2DPsums, tr.L2Psum)
+	}
+	if tr.DRAMActReads < l.InputBytes() {
+		t.Errorf("DRAM act reads %d below input volume %d", tr.DRAMActReads, l.InputBytes())
+	}
+	if tr.DRAMWtReads != l.WeightBytes() {
+		t.Errorf("weights load once: %d != %d", tr.DRAMWtReads, l.WeightBytes())
+	}
+	if r.Cycles <= 0 {
+		t.Error("non-positive cycles")
+	}
+}
+
+func TestEvaluateRejectsBadInputs(t *testing.T) {
+	hw := hardware.CaseStudy()
+	if _, err := Evaluate(workload.Layer{}, hw, DefaultGrid(hw)); err == nil {
+		t.Error("expected layer validation error")
+	}
+	l := workload.Layer{HO: 8, WO: 8, CO: 8, CI: 8, R: 1, S: 1, StrideH: 1, StrideW: 1}
+	if _, err := Evaluate(l, hw, Grid{1, 1, 1, 1}); err == nil {
+		t.Error("expected grid validation error")
+	}
+}
+
+// Fig 12 shape: on large-feature-map layers NN-Baton's output-centric
+// dataflow beats Simba decisively, and Simba's D2D overhead is higher due to
+// partial-sum transfer.
+func TestFig12LayerShape(t *testing.T) {
+	hw := hardware.CaseStudy()
+	g := DefaultGrid(hw)
+	reps, err := workload.RepresentativeLayers(224)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reps {
+		sr, err := Evaluate(r.Layer, hw, g)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Role, err)
+		}
+		simbaE := energy.FromTraffic(sr.Traffic, hw, cm)
+		opt, err := mapper.Search(r.Layer, hw, cm, mapper.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", r.Role, err)
+		}
+		if opt.Energy.Total() > simbaE.Total() {
+			t.Errorf("%s: NN-Baton %.0f pJ worse than Simba %.0f pJ",
+				r.Role, opt.Energy.Total(), simbaE.Total())
+		}
+		if simbaE.D2D < opt.Energy.D2D*0.5 {
+			t.Errorf("%s: Simba D2D %.0f unexpectedly far below NN-Baton %.0f",
+				r.Role, simbaE.D2D, opt.Energy.D2D)
+		}
+	}
+}
+
+// Fig 13 shape: model-level savings in the tens of percent.
+func TestFig13ModelSavings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model-level search in -short mode")
+	}
+	hw := hardware.CaseStudy()
+	g := DefaultGrid(hw)
+	m := workload.VGG16(224)
+	st, _, err := EvaluateModel(m, hw, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simbaE := energy.FromTraffic(st, hw, cm).Total()
+	res, err := mapper.SearchModel(m, hw, cm, mapper.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	saving := 1 - res.Energy.Total()/simbaE
+	if saving < 0.10 || saving > 0.70 {
+		t.Errorf("VGG-16 energy saving = %.1f%%, expected within the paper's band (22.5%%~44%%, allow 10-70)",
+			saving*100)
+	}
+}
+
+func TestEvaluateAcrossGranularities(t *testing.T) {
+	l := workload.Layer{Model: "t", Name: "conv", HO: 56, WO: 56, CO: 64, CI: 64,
+		R: 3, S: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	prev := -1.0
+	for _, chips := range []int{1, 2, 4, 8} {
+		hw := hardware.Config{Chiplets: chips, Cores: 8, Lanes: 8, Vector: 8}.
+			WithProportionalMemory(hardware.DefaultProportion())
+		r, err := Evaluate(l, hw, DefaultGrid(hw))
+		if err != nil {
+			t.Fatalf("%d chiplets: %v", chips, err)
+		}
+		e := energy.FromTraffic(r.Traffic, hw, cm).Total()
+		if e <= 0 {
+			t.Fatalf("%d chiplets: non-positive energy", chips)
+		}
+		// Psum NoP traffic appears once chiplet rows exist.
+		g := DefaultGrid(hw)
+		if g.ChipRows > 1 && r.Traffic.D2DPsums == 0 {
+			t.Errorf("%d chiplets: missing NoP psum traffic", chips)
+		}
+		if g.ChipRows == 1 && r.Traffic.D2DPsums != 0 {
+			t.Errorf("%d chiplets: unexpected NoP psum traffic", chips)
+		}
+		_ = prev
+		prev = e
+	}
+}
+
+func TestEvaluateModelPropagatesErrors(t *testing.T) {
+	bad := workload.Model{Name: "bad", Layers: []workload.Layer{{}}}
+	hw := hardware.CaseStudy()
+	if _, _, err := EvaluateModel(bad, hw, DefaultGrid(hw)); err == nil {
+		t.Error("expected layer validation error")
+	}
+}

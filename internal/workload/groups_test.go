@@ -1,0 +1,124 @@
+package workload
+
+import "testing"
+
+func TestGroupedLayerAccounting(t *testing.T) {
+	dense := Layer{HO: 28, WO: 28, CO: 96, CI: 96, R: 3, S: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	dw := dense
+	dw.Groups = 96
+	if err := dw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if dw.G() != 96 || dw.CIPerGroup() != 1 || dw.COPerGroup() != 1 {
+		t.Errorf("group derived: G=%d ci/g=%d co/g=%d", dw.G(), dw.CIPerGroup(), dw.COPerGroup())
+	}
+	// A depthwise layer does 1/CI of the dense MACs and weights.
+	if dw.MACs()*96 != dense.MACs() {
+		t.Errorf("depthwise MACs %d vs dense %d", dw.MACs(), dense.MACs())
+	}
+	if dw.WeightBytes()*96 != dense.WeightBytes() {
+		t.Errorf("depthwise weights %d vs dense %d", dw.WeightBytes(), dense.WeightBytes())
+	}
+	// Inputs are unchanged: every input channel is still read.
+	if dw.InputBytes() != dense.InputBytes() {
+		t.Error("grouping must not change the input volume")
+	}
+	// Zero groups behaves as dense.
+	zero := dense
+	zero.Groups = 0
+	if zero.G() != 1 || zero.MACs() != dense.MACs() {
+		t.Error("Groups=0 must behave as dense")
+	}
+}
+
+func TestGroupsValidation(t *testing.T) {
+	l := Layer{HO: 8, WO: 8, CO: 96, CI: 96, R: 3, S: 3, StrideH: 1, StrideW: 1}
+	l.Groups = 7 // does not divide 96
+	if err := l.Validate(); err == nil {
+		t.Error("expected group-divisibility error")
+	}
+	l.Groups = -1
+	if err := l.Validate(); err == nil {
+		t.Error("expected negative-groups error")
+	}
+}
+
+func TestMobileNetV2(t *testing.T) {
+	m := MobileNetV2(224)
+	if len(m.Layers) == 0 {
+		t.Fatal("no layers")
+	}
+	var dwCount int
+	for _, l := range m.Layers {
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s: %v", l.Name, err)
+		}
+		if l.G() > 1 {
+			dwCount++
+			if l.CI != l.CO || l.G() != l.CI {
+				t.Errorf("%s: depthwise layer malformed: %v groups=%d", l.Name, l, l.Groups)
+			}
+		}
+	}
+	// 17 inverted residual blocks, one depthwise each.
+	if dwCount != 17 {
+		t.Errorf("depthwise layers = %d, want 17", dwCount)
+	}
+	// Final classifier over 1280 channels.
+	fc, err := m.Layer("fc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.CI != 1280 || fc.CO != 1000 {
+		t.Errorf("fc = %v", fc)
+	}
+	// First depthwise block shapes: block1_dw is 112x112x32.
+	dw, err := m.Layer("block1_dw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dw.HO != 112 || dw.CO != 32 || dw.Groups != 32 {
+		t.Errorf("block1_dw = %v groups=%d", dw, dw.Groups)
+	}
+	// MobileNetV2 is far lighter than VGG-16.
+	if m.TotalMACs() >= VGG16(224).TotalMACs()/10 {
+		t.Errorf("MobileNetV2 MACs %d not an order below VGG %d", m.TotalMACs(), VGG16(224).TotalMACs())
+	}
+}
+
+func TestYOLOv2(t *testing.T) {
+	m := YOLOv2(512)
+	// 18 backbone convs + conv19/20/21 + detect = 22 layers.
+	if len(m.Layers) != 22 {
+		t.Errorf("layer count = %d, want 22", len(m.Layers))
+	}
+	for _, l := range m.Layers {
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s: %v", l.Name, err)
+		}
+	}
+	det, err := m.Layer("detect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 512/32 = 16 output cells; 125 = 5 anchors x (20 classes + 5).
+	if det.HO != 16 || det.CO != 125 {
+		t.Errorf("detect = %v", det)
+	}
+	c21, err := m.Layer("conv21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// conv21 consumes the passthrough concat: 1024 + 256 input channels.
+	if c21.CI != 1280 {
+		t.Errorf("conv21 CI = %d, want 1280", c21.CI)
+	}
+	// The detection network is heavier than its classification backbone at
+	// equal resolution.
+	if m.TotalMACs() <= DarkNet19(512).TotalMACs() {
+		t.Error("YOLOv2 should exceed the DarkNet-19 backbone in MACs")
+	}
+	if _, err := Load("yolov2", 512); err != nil {
+		t.Errorf("Load(yolov2): %v", err)
+	}
+}

@@ -1,0 +1,36 @@
+package workload
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Load resolves a model by zoo name (case-insensitive, with or without
+// hyphens) at the given input resolution, or parses a custom text
+// description when the name is a path ending in ".txt".
+func Load(name string, resolution int) (Model, error) {
+	if strings.HasSuffix(name, ".txt") {
+		f, err := os.Open(name)
+		if err != nil {
+			return Model{}, fmt.Errorf("workload: %w", err)
+		}
+		defer f.Close()
+		return Parse(f)
+	}
+	switch strings.ReplaceAll(strings.ToLower(name), "-", "") {
+	case "alexnet":
+		return AlexNet(resolution), nil
+	case "vgg16":
+		return VGG16(resolution), nil
+	case "resnet50":
+		return ResNet50(resolution), nil
+	case "darknet19":
+		return DarkNet19(resolution), nil
+	case "mobilenetv2":
+		return MobileNetV2(resolution), nil
+	case "yolov2":
+		return YOLOv2(resolution), nil
+	}
+	return Model{}, fmt.Errorf("workload: unknown model %q (alexnet|vgg16|resnet50|darknet19|mobilenetv2|yolov2|<file>.txt)", name)
+}

@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a model description from a simple line-oriented text format —
+// the offline stand-in for the paper's torch.jit model extraction (§V-C).
+//
+// Grammar (one directive per line, '#' starts a comment):
+//
+//	model  <name> <input-resolution> [input-channels]
+//	conv   <name> <out-channels> <kernel> <stride> <pad> [groups]
+//	dwconv <name> <kernel> <stride> <pad>
+//	pool   <kernel> <stride> [pad]
+//	gpool
+//	fc     <name> <out-features>
+//
+// Example:
+//
+//	model tiny 32 3
+//	conv c1 16 3 1 1
+//	pool 2 2
+//	conv c2 32 3 1 1
+//	gpool
+//	fc head 10
+func Parse(r io.Reader) (Model, error) {
+	sc := bufio.NewScanner(r)
+	var b *builder
+	resolution := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		op, args := fields[0], fields[1:]
+		fail := func(format string, a ...interface{}) (Model, error) {
+			return Model{}, fmt.Errorf("workload: line %d: %s", lineNo, fmt.Sprintf(format, a...))
+		}
+		if op != "model" && b == nil {
+			return fail("%q before the model directive", op)
+		}
+		switch op {
+		case "model":
+			if b != nil {
+				return fail("duplicate model directive")
+			}
+			if len(args) < 2 || len(args) > 3 {
+				return fail("model wants <name> <resolution> [channels]")
+			}
+			res, err := atoiPos(args[1])
+			if err != nil {
+				return fail("resolution: %v", err)
+			}
+			channels := 3
+			if len(args) == 3 {
+				if channels, err = atoiPos(args[2]); err != nil {
+					return fail("channels: %v", err)
+				}
+			}
+			resolution = res
+			b = newBuilder(args[0], res, channels)
+		case "conv":
+			if len(args) < 5 || len(args) > 6 {
+				return fail("conv wants <name> <co> <k> <s> <p> [groups]")
+			}
+			vals, err := atoiAll(args[1:])
+			if err != nil {
+				return fail("conv: %v", err)
+			}
+			b.conv(args[0], vals[0], vals[1], vals[2], vals[3])
+			if len(vals) == 5 {
+				last := &b.layers[len(b.layers)-1]
+				last.Groups = vals[4]
+				if err := last.Validate(); err != nil {
+					return fail("conv: %v", err)
+				}
+			}
+		case "dwconv":
+			if len(args) != 4 {
+				return fail("dwconv wants <name> <k> <s> <p>")
+			}
+			vals, err := atoiAll(args[1:])
+			if err != nil {
+				return fail("dwconv: %v", err)
+			}
+			b.dwConv(args[0], vals[0], vals[1], vals[2])
+		case "pool":
+			if len(args) < 2 || len(args) > 3 {
+				return fail("pool wants <k> <s> [pad]")
+			}
+			vals, err := atoiAll(args)
+			if err != nil {
+				return fail("pool: %v", err)
+			}
+			pad := 0
+			if len(vals) == 3 {
+				pad = vals[2]
+			}
+			b.pool(vals[0], vals[1], pad)
+		case "gpool":
+			b.globalPool()
+		case "fc":
+			if len(args) != 2 {
+				return fail("fc wants <name> <out>")
+			}
+			out, err := atoiPos(args[1])
+			if err != nil {
+				return fail("fc: %v", err)
+			}
+			b.fc(args[0], out)
+		default:
+			return fail("unknown directive %q", op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Model{}, fmt.Errorf("workload: reading model: %w", err)
+	}
+	if b == nil {
+		return Model{}, fmt.Errorf("workload: empty model description")
+	}
+	m := b.build(resolution)
+	if len(m.Layers) == 0 {
+		return Model{}, fmt.Errorf("workload: model %s has no layers", m.Name)
+	}
+	for _, l := range m.Layers {
+		if err := l.Validate(); err != nil {
+			return Model{}, err
+		}
+	}
+	return m, nil
+}
+
+func atoiPos(s string) (int, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("%d must be positive", v)
+	}
+	return v, nil
+}
+
+func atoiAll(ss []string) ([]int, error) {
+	out := make([]int, len(ss))
+	for i, s := range ss {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("negative value %d", v)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

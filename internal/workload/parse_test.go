@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestParseBasicModel(t *testing.T) {
+	src := `
+# a tiny test network
+model tiny 32 3
+conv c1 16 3 1 1
+pool 2 2
+conv c2 32 3 1 1    # trailing comment
+gpool
+fc head 10
+`
+	m, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "tiny" || m.Resolution != 32 || len(m.Layers) != 3 {
+		t.Fatalf("model = %+v", m)
+	}
+	c1, err := m.Layer("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.HO != 32 || c1.CO != 16 || c1.CI != 3 {
+		t.Errorf("c1 = %v", c1)
+	}
+	c2, err := m.Layer("c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.HO != 16 || c2.CI != 16 {
+		t.Errorf("c2 = %v", c2)
+	}
+	fc, err := m.Layer("head")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.CI != 32 || fc.CO != 10 || fc.HO != 1 {
+		t.Errorf("fc = %v", fc)
+	}
+}
+
+func TestParseGroupsAndDepthwise(t *testing.T) {
+	src := `
+model g 16 8
+conv grouped 16 3 1 1 4
+dwconv dw 3 1 1
+`
+	m, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := m.Layer("grouped")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Groups != 4 || g.CIPerGroup() != 2 {
+		t.Errorf("grouped = %v groups=%d", g, g.Groups)
+	}
+	dw, err := m.Layer("dw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dw.Groups != 16 || dw.CO != 16 {
+		t.Errorf("dw = %v groups=%d", dw, dw.Groups)
+	}
+}
+
+func TestParseRoundTripsZoo(t *testing.T) {
+	// A textual VGG-16 matches the programmatic zoo layer for layer.
+	var sb strings.Builder
+	sb.WriteString("model VGG-16 224 3\n")
+	widths := []int{64, 64, 0, 128, 128, 0, 256, 256, 256, 0, 512, 512, 512, 0, 512, 512, 512, 0}
+	i := 0
+	for _, w := range widths {
+		if w == 0 {
+			sb.WriteString("pool 2 2\n")
+			continue
+		}
+		i++
+		sb.WriteString("conv conv" + strconv.Itoa(i) + " " + strconv.Itoa(w) + " 3 1 1\n")
+	}
+	sb.WriteString("fc fc14 4096\nfc fc15 4096\nfc fc16 1000\n")
+	got, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := VGG16(224)
+	if len(got.Layers) != len(want.Layers) {
+		t.Fatalf("parsed %d layers, zoo has %d", len(got.Layers), len(want.Layers))
+	}
+	for i := range want.Layers {
+		g, w := got.Layers[i], want.Layers[i]
+		g.Model, w.Model = "", ""
+		if g != w {
+			t.Errorf("layer %d: parsed %v != zoo %v", i, g, w)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"empty", ""},
+		{"no model first", "conv c1 16 3 1 1"},
+		{"duplicate model", "model a 32\nmodel b 32"},
+		{"bad resolution", "model a zero"},
+		{"model arity", "model a"},
+		{"conv arity", "model a 32\nconv c1 16 3"},
+		{"conv non-numeric", "model a 32\nconv c1 x 3 1 1"},
+		{"bad groups", "model a 32\nconv c1 16 3 1 1 5"},
+		{"pool arity", "model a 32\npool 2 2 0 9"},
+		{"fc arity", "model a 32\nfc head"},
+		{"fc bad out", "model a 32\nfc head -3"},
+		{"unknown op", "model a 32\nfrobnicate 1"},
+		{"model only", "model a 32"},
+		{"dwconv arity", "model a 32\ndwconv dw 3 1"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(strings.NewReader(tc.src)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}

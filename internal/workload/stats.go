@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a model's workload composition: the per-kind layer
+// counts, compute and data volumes the pre-design flow reasons about
+// ("activation-intensive layers, weight-intensive layers, large kernel-size
+// layer, point-wise layer, and other common layers", §V-B).
+type Stats struct {
+	Model      string
+	Resolution int
+	Layers     int
+
+	ByKind map[Kind]KindStats
+
+	TotalMACs        int64
+	TotalWeightBytes int64
+	TotalInputBytes  int64
+	TotalOutputBytes int64
+	PeakWeightBytes  int64
+	PeakActBytes     int64
+}
+
+// KindStats aggregates one layer class.
+type KindStats struct {
+	Layers int
+	MACs   int64
+}
+
+// Summarize computes the statistics of a model.
+func Summarize(m Model) Stats {
+	s := Stats{
+		Model: m.Name, Resolution: m.Resolution, Layers: len(m.Layers),
+		ByKind: make(map[Kind]KindStats),
+	}
+	for _, l := range m.Layers {
+		k := l.Kind()
+		ks := s.ByKind[k]
+		ks.Layers++
+		ks.MACs += l.MACs()
+		s.ByKind[k] = ks
+
+		s.TotalMACs += l.MACs()
+		s.TotalWeightBytes += l.WeightBytes()
+		s.TotalInputBytes += l.InputBytes()
+		s.TotalOutputBytes += l.OutputBytes()
+		s.PeakWeightBytes = max(s.PeakWeightBytes, l.WeightBytes())
+		s.PeakActBytes = max(s.PeakActBytes, l.InputBytes()+l.OutputBytes())
+	}
+	return s
+}
+
+// DominantKind returns the layer class carrying the most MACs.
+func (s Stats) DominantKind() Kind {
+	var best Kind
+	var bestMACs int64 = -1
+	kinds := make([]Kind, 0, len(s.ByKind))
+	for k := range s.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		if s.ByKind[k].MACs > bestMACs {
+			best, bestMACs = k, s.ByKind[k].MACs
+		}
+	}
+	return best
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	var parts []string
+	kinds := make([]Kind, 0, len(s.ByKind))
+	for k := range s.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%v:%d", k, s.ByKind[k].Layers))
+	}
+	return fmt.Sprintf("%s@%d: %d layers (%s), %.2f GMAC, %.1f MB weights",
+		s.Model, s.Resolution, s.Layers, strings.Join(parts, " "),
+		float64(s.TotalMACs)/1e9, float64(s.TotalWeightBytes)/1e6)
+}

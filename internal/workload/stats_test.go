@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	m := VGG16(224)
+	s := Summarize(m)
+	if s.Model != "VGG-16" || s.Resolution != 224 || s.Layers != 16 {
+		t.Fatalf("header: %+v", s)
+	}
+	var kindLayers int
+	var kindMACs int64
+	for _, ks := range s.ByKind {
+		kindLayers += ks.Layers
+		kindMACs += ks.MACs
+	}
+	if kindLayers != s.Layers {
+		t.Errorf("kind layers %d != %d", kindLayers, s.Layers)
+	}
+	if kindMACs != s.TotalMACs {
+		t.Errorf("kind MACs %d != %d", kindMACs, s.TotalMACs)
+	}
+	if s.TotalMACs != m.TotalMACs() {
+		t.Errorf("total MACs %d != model %d", s.TotalMACs, m.TotalMACs())
+	}
+	if s.PeakWeightBytes != m.PeakWeightBytes() || s.PeakActBytes != m.PeakActivationBytes() {
+		t.Error("peak mismatch")
+	}
+	// VGG-16 @224: the 3x3 convs carry nearly all MACs; the dominant kind
+	// is a conv class, not point-wise.
+	if s.DominantKind() == PointWise {
+		t.Errorf("dominant kind = %v", s.DominantKind())
+	}
+	if !strings.Contains(s.String(), "VGG-16@224") || !strings.Contains(s.String(), "GMAC") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSummarizeKindShift(t *testing.T) {
+	// ResNet-50 has many point-wise (1x1) layers; VGG-16 has none.
+	rn := Summarize(ResNet50(224))
+	if rn.ByKind[PointWise].Layers < 30 {
+		t.Errorf("ResNet point-wise layers = %d", rn.ByKind[PointWise].Layers)
+	}
+	vgg := Summarize(VGG16(224))
+	if n := vgg.ByKind[LargeKernel].Layers; n != 0 {
+		t.Errorf("VGG large-kernel layers = %d", n)
+	}
+	if vgg.ByKind[PointWise].Layers != 3 { // the reorganized FC layers
+		t.Errorf("VGG point-wise (FC) layers = %d", vgg.ByKind[PointWise].Layers)
+	}
+}
+
+func TestSummarizeEmptyModel(t *testing.T) {
+	s := Summarize(Model{Name: "empty"})
+	if s.Layers != 0 || s.TotalMACs != 0 || len(s.ByKind) != 0 {
+		t.Errorf("empty stats: %+v", s)
+	}
+}
