@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test bench vet race check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the pre-merge gate: static analysis plus the full suite under the
+# race detector (the engine is concurrent; plain `go test` won't catch races).
+check: vet race

@@ -23,11 +23,13 @@
 package nnbaton
 
 import (
+	"context"
 	"fmt"
 
 	"nnbaton/internal/c3p"
 	"nnbaton/internal/dse"
 	"nnbaton/internal/energy"
+	"nnbaton/internal/engine"
 	"nnbaton/internal/fab"
 	"nnbaton/internal/hardware"
 	"nnbaton/internal/mapper"
@@ -98,14 +100,28 @@ func CaseStudyHardware() Hardware { return hardware.CaseStudy() }
 // TableIISpace returns the full Table II design space.
 func TableIISpace() Space { return dse.TableII() }
 
+// EngineStats is a snapshot of the evaluation engine's search-cache
+// counters (lookups, actual searches, hits, coalesced in-flight waits).
+type EngineStats = engine.Stats
+
 // Baton is the NN-Baton automatic tool (Fig 9): it bundles the C³P
-// evaluation engine with the fitted 16 nm cost model.
+// evaluation engine with the fitted 16 nm cost model. All flows share one
+// evaluation engine, so layer searches are memoized on layer shape for the
+// lifetime of the tool — mapping ResNet-50 and then exploring hardware for
+// it reuses every search the shapes have in common.
 type Baton struct {
-	cm *hardware.CostModel
+	cm  *hardware.CostModel
+	eng *engine.Evaluator
 }
 
 // New builds the tool with the default 16 nm cost model.
-func New() *Baton { return &Baton{cm: hardware.MustCostModel()} }
+func New() *Baton {
+	cm := hardware.MustCostModel()
+	return &Baton{cm: cm, eng: engine.New(cm)}
+}
+
+// EngineStats snapshots the shared evaluation engine's cache counters.
+func (b *Baton) EngineStats() EngineStats { return b.eng.Stats() }
 
 // LayerReport is the post-design result for one layer.
 type LayerReport struct {
@@ -129,9 +145,10 @@ type ModelReport struct {
 
 // MapLayer runs the post-design flow for one layer: the exhaustive search
 // over spatial/temporal primitives, patterns and tile sizes, returning the
-// minimum-energy mapping.
+// minimum-energy mapping. Served from the engine cache when the layer shape
+// has been searched before on the same hardware.
 func (b *Baton) MapLayer(l Layer, hw Hardware) (LayerReport, error) {
-	opt, err := mapper.Search(l, hw, b.cm, mapper.Config{})
+	opt, err := b.eng.EvalLayer(context.Background(), l, hw, mapper.Config{})
 	if err != nil {
 		return LayerReport{}, err
 	}
@@ -149,7 +166,13 @@ func (b *Baton) MapLayer(l Layer, hw Hardware) (LayerReport, error) {
 // MapModel runs the post-design flow for every layer of a model with the
 // per-layer optimal strategy.
 func (b *Baton) MapModel(m Model, hw Hardware) (ModelReport, error) {
-	res, err := mapper.SearchModel(m, hw, b.cm, mapper.Config{})
+	return b.MapModelContext(context.Background(), m, hw)
+}
+
+// MapModelContext is MapModel with cancellation: the per-layer searches run
+// in parallel on the engine and stop when ctx is cancelled.
+func (b *Baton) MapModelContext(ctx context.Context, m Model, hw Hardware) (ModelReport, error) {
+	res, err := b.eng.EvalModel(ctx, m, hw, mapper.Config{})
 	if err != nil {
 		return ModelReport{}, err
 	}
@@ -205,11 +228,11 @@ func (b *Baton) CompareSimba(m Model, hw Hardware) (Comparison, error) {
 		return Comparison{}, err
 	}
 	simbaE := energy.FromTraffic(st, hw, b.cm)
-	res, err := mapper.SearchModel(m, hw, b.cm, mapper.Config{})
+	res, err := b.eng.EvalModel(context.Background(), m, hw, mapper.Config{})
 	if err != nil {
 		return Comparison{}, err
 	}
-	if len(res.Skipped) > 0 {
+	if !res.Complete() {
 		return Comparison{}, fmt.Errorf("nnbaton: %d layers unmappable on %s", len(res.Skipped), hw.Tuple())
 	}
 	return Comparison{
@@ -235,7 +258,7 @@ type FusionReport struct {
 // feature map fits the aggregate A-L2 keep it on-package. The unfused
 // breakdown reproduces the paper's layer-wise evaluation.
 func (b *Baton) FusionStudy(m Model, hw Hardware) (FusionReport, error) {
-	res, err := mapper.SearchModel(m, hw, b.cm, mapper.Config{})
+	res, err := b.eng.EvalModel(context.Background(), m, hw, mapper.Config{})
 	if err != nil {
 		return FusionReport{}, err
 	}
@@ -272,23 +295,40 @@ func (b *Baton) FusionStudy(m Model, hw Hardware) (FusionReport, error) {
 // allocation of totalMACs with proportional memory, reporting energy,
 // runtime and area per implementation.
 func (b *Baton) Granularity(m Model, totalMACs int, areaLimitMM2 float64) (dse.GranularityResult, error) {
-	return dse.Granularity(m, dse.TableII(), totalMACs, areaLimitMM2, hardware.DefaultProportion(), b.cm)
+	return b.GranularityContext(context.Background(), m, TableIISpace(), totalMACs, areaLimitMM2)
+}
+
+// GranularityContext is Granularity over a custom space with cancellation.
+func (b *Baton) GranularityContext(ctx context.Context, m Model, space Space, totalMACs int, areaLimitMM2 float64) (dse.GranularityResult, error) {
+	return dse.Granularity(ctx, m, space, totalMACs, areaLimitMM2, hardware.DefaultProportion(), b.eng)
 }
 
 // Explore runs the Fig 15 full pre-design sweep: compute × memory
 // allocations of Table II under an area constraint.
 func (b *Baton) Explore(m Model, totalMACs int, areaLimitMM2 float64) (dse.ExploreResult, error) {
-	return dse.Explore(m, dse.TableII(), totalMACs, areaLimitMM2, b.cm)
+	return b.ExploreContext(context.Background(), m, TableIISpace(), totalMACs, areaLimitMM2)
+}
+
+// ExploreContext is Explore over a custom space with cancellation.
+func (b *Baton) ExploreContext(ctx context.Context, m Model, space Space, totalMACs int, areaLimitMM2 float64) (dse.ExploreResult, error) {
+	return dse.Explore(ctx, m, space, totalMACs, areaLimitMM2, b.eng)
 }
 
 // ExploreIn is Explore over a custom (e.g. reduced) space.
 func (b *Baton) ExploreIn(m Model, space Space, totalMACs int, areaLimitMM2 float64) (dse.ExploreResult, error) {
-	return dse.Explore(m, space, totalMACs, areaLimitMM2, b.cm)
+	return b.ExploreContext(context.Background(), m, space, totalMACs, areaLimitMM2)
 }
 
 // GranularityIn is Granularity over a custom space.
 func (b *Baton) GranularityIn(m Model, space Space, totalMACs int, areaLimitMM2 float64) (dse.GranularityResult, error) {
-	return dse.Granularity(m, space, totalMACs, areaLimitMM2, hardware.DefaultProportion(), b.cm)
+	return b.GranularityContext(context.Background(), m, space, totalMACs, areaLimitMM2)
+}
+
+// GranularitySet runs the granularity study jointly over several target
+// models, recommending one hardware allocation for the whole deployment set.
+func (b *Baton) GranularitySet(models []Model, totalMACs int, areaLimitMM2 float64) (dse.GranularityResult, error) {
+	return dse.GranularitySet(context.Background(), models, TableIISpace(), totalMACs, areaLimitMM2,
+		hardware.DefaultProportion(), b.eng)
 }
 
 // ChipletAreaMM2 returns the modeled silicon area of one chiplet.

@@ -6,11 +6,13 @@
 package nnbaton
 
 import (
+	"context"
 	"testing"
 
 	"nnbaton/internal/c3p"
 	"nnbaton/internal/dse"
 	"nnbaton/internal/energy"
+	"nnbaton/internal/engine"
 	"nnbaton/internal/functional"
 	"nnbaton/internal/halo"
 	"nnbaton/internal/hardware"
@@ -173,7 +175,7 @@ func BenchmarkFig14Granularity(b *testing.B) {
 	m := AlexNet(224)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := dse.Granularity(m, benchSpace(), 1024, 2.0, hardware.DefaultProportion(), benchCM)
+		res, err := dse.Granularity(context.Background(), m, benchSpace(), 1024, 2.0, hardware.DefaultProportion(), engine.New(benchCM))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -189,7 +191,7 @@ func BenchmarkFig15FullDSE(b *testing.B) {
 	m := AlexNet(224)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := dse.Explore(m, benchSpace(), 1024, 3.0, benchCM)
+		res, err := dse.Explore(context.Background(), m, benchSpace(), 1024, 3.0, engine.New(benchCM))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -290,6 +292,92 @@ func BenchmarkFunctionalExecution(b *testing.B) {
 		}
 		if functional.Equal(ref, got) != nil {
 			b.Fatal("functional mismatch")
+		}
+	}
+}
+
+// BenchmarkEngineEvalModelResNet50Cold measures a full ResNet-50 search on a
+// fresh engine: shape deduplication applies within the model (unique shapes
+// only), but nothing is pre-cached.
+func BenchmarkEngineEvalModelResNet50Cold(b *testing.B) {
+	m := ResNet50(224)
+	hw := CaseStudyHardware()
+	b.ReportAllocs()
+	var searches int64
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(benchCM)
+		res, err := eng.EvalModel(context.Background(), m, hw, mapper.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Complete() {
+			b.Fatal("incomplete mapping")
+		}
+		searches = eng.Stats().Searches
+	}
+	b.ReportMetric(float64(searches), "searches/op")
+}
+
+// BenchmarkEngineEvalModelResNet50Warm measures the same evaluation served
+// entirely from the memoized cache — the steady state of a long-lived
+// serving process.
+func BenchmarkEngineEvalModelResNet50Warm(b *testing.B) {
+	m := ResNet50(224)
+	hw := CaseStudyHardware()
+	eng := engine.New(benchCM)
+	if _, err := eng.EvalModel(context.Background(), m, hw, mapper.Config{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.EvalModel(context.Background(), m, hw, mapper.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Complete() {
+			b.Fatal("incomplete mapping")
+		}
+	}
+}
+
+// BenchmarkEngineGranularityCold runs the reduced Fig 14 sweep on a fresh
+// engine per iteration (the pre-refactor behavior: every sweep pays for its
+// own searches).
+func BenchmarkEngineGranularityCold(b *testing.B) {
+	m := AlexNet(224)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := dse.Granularity(context.Background(), m, benchSpace(), 1024, 2.0,
+			hardware.DefaultProportion(), engine.New(benchCM))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Points) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// BenchmarkEngineGranularityWarm reuses one engine across iterations, so the
+// sweep is served from the shape-deduplicated cache.
+func BenchmarkEngineGranularityWarm(b *testing.B) {
+	m := AlexNet(224)
+	eng := engine.New(benchCM)
+	if _, err := dse.Granularity(context.Background(), m, benchSpace(), 1024, 2.0,
+		hardware.DefaultProportion(), eng); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := dse.Granularity(context.Background(), m, benchSpace(), 1024, 2.0,
+			hardware.DefaultProportion(), eng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Points) == 0 {
+			b.Fatal("no points")
 		}
 	}
 }

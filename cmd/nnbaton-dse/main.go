@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 
 	"nnbaton"
@@ -27,35 +29,45 @@ func main() {
 		macs  = flag.Int("macs", 2048, "total MAC budget")
 		area  = flag.Float64("area", 2.0, "chiplet area constraint in mm² (0 = unconstrained)")
 		mode  = flag.String("mode", "granularity", "granularity | explore | cost")
+		stats = flag.Bool("stats", false, "print engine search-cache statistics after the sweep")
 	)
 	flag.Parse()
-	if err := run(*model, *res, *macs, *area, *mode); err != nil {
+	// Sweeps can run for minutes; Ctrl-C cancels the evaluation engine's
+	// workers cleanly instead of killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *model, *res, *macs, *area, *mode, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "nnbaton-dse:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelName string, res, macs int, area float64, mode string) error {
+func run(ctx context.Context, modelName string, res, macs int, area float64, mode string, stats bool) error {
 	m, err := workload.Load(modelName, res)
 	if err != nil {
 		return err
 	}
 	tool := nnbaton.New()
+	defer func() {
+		if stats {
+			fmt.Fprintln(os.Stderr, tool.EngineStats())
+		}
+	}()
 	switch mode {
 	case "granularity":
-		return granularity(tool, m, macs, area)
+		return granularity(ctx, tool, m, macs, area)
 	case "explore":
-		return explore(tool, m, macs, area)
+		return explore(ctx, tool, m, macs, area)
 	case "cost":
-		return cost(tool, m, macs, area)
+		return cost(ctx, tool, m, macs, area)
 	}
 	return fmt.Errorf("unknown mode %q (granularity|explore|cost)", mode)
 }
 
 // cost runs the granularity study and prices every implementation under the
 // default fabrication process (the manufacturing-cost extension).
-func cost(tool *nnbaton.Baton, m nnbaton.Model, macs int, area float64) error {
-	res, err := tool.Granularity(m, macs, area)
+func cost(ctx context.Context, tool *nnbaton.Baton, m nnbaton.Model, macs int, area float64) error {
+	res, err := tool.GranularityContext(ctx, m, nnbaton.TableIISpace(), macs, area)
 	if err != nil {
 		return err
 	}
@@ -75,8 +87,8 @@ func cost(tool *nnbaton.Baton, m nnbaton.Model, macs int, area float64) error {
 	return t.Render(os.Stdout)
 }
 
-func granularity(tool *nnbaton.Baton, m nnbaton.Model, macs int, area float64) error {
-	res, err := tool.Granularity(m, macs, area)
+func granularity(ctx context.Context, tool *nnbaton.Baton, m nnbaton.Model, macs int, area float64) error {
+	res, err := tool.GranularityContext(ctx, m, nnbaton.TableIISpace(), macs, area)
 	if err != nil {
 		return err
 	}
@@ -102,8 +114,8 @@ func granularity(tool *nnbaton.Baton, m nnbaton.Model, macs int, area float64) e
 	return nil
 }
 
-func explore(tool *nnbaton.Baton, m nnbaton.Model, macs int, area float64) error {
-	res, err := tool.Explore(m, macs, area)
+func explore(ctx context.Context, tool *nnbaton.Baton, m nnbaton.Model, macs int, area float64) error {
+	res, err := tool.ExploreContext(ctx, m, nnbaton.TableIISpace(), macs, area)
 	if err != nil {
 		return err
 	}

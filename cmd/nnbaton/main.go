@@ -40,6 +40,7 @@ func main() {
 		out      = flag.String("o", "", "write the mapping strategy to this JSON file")
 		trace    = flag.Bool("trace", false, "with -layer: run the discrete-event trace and print a pipeline timeline")
 		load     = flag.String("load", "", "load and reprice a strategy JSON file instead of searching")
+		stats    = flag.Bool("stats", false, "print engine search-cache statistics (shape deduplication) after mapping")
 	)
 	flag.Parse()
 	if *load != "" {
@@ -49,7 +50,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*model, *res, *layer, *withSim, *trace, *chiplets, *cores, *lanes, *vector, *out); err != nil {
+	if err := run(*model, *res, *layer, *withSim, *trace, *stats, *chiplets, *cores, *lanes, *vector, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "nnbaton:", err)
 		os.Exit(1)
 	}
@@ -78,7 +79,7 @@ func reprice(path string) error {
 	return nil
 }
 
-func run(modelName string, res int, layerName string, withSimba, withTrace bool, chiplets, cores, lanes, vector int, out string) error {
+func run(modelName string, res int, layerName string, withSimba, withTrace, withStats bool, chiplets, cores, lanes, vector int, out string) error {
 	m, err := workload.Load(modelName, res)
 	if err != nil {
 		return err
@@ -102,6 +103,9 @@ func run(modelName string, res int, layerName string, withSimba, withTrace bool,
 	}
 	tool := nnbaton.New()
 	fmt.Printf("hardware: %s  (chiplet area %.2f mm²)\n\n", hw, tool.ChipletAreaMM2(hw))
+	if withStats {
+		defer func() { fmt.Fprintln(os.Stderr, tool.EngineStats()) }()
+	}
 
 	if layerName != "" {
 		l, err := m.Layer(layerName)

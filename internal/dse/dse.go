@@ -2,16 +2,20 @@
 // hardware design space exploration over the Table II resource options. It
 // decides the chiplet granularity (Fig 14) and the full computation + memory
 // allocation (Fig 15) under area and performance budgets.
+//
+// All evaluation routes through the unified engine (internal/engine): layer
+// searches are memoized on (shape, hardware, config) and shared across every
+// point of a sweep, and the whole study honors context cancellation.
 package dse
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"nnbaton/internal/energy"
+	"nnbaton/internal/engine"
 	"nnbaton/internal/fab"
 	"nnbaton/internal/hardware"
 	"nnbaton/internal/mapper"
@@ -99,32 +103,42 @@ type Point struct {
 	MeetsArea      bool
 	MappedLayers   int
 	SkippedLayers  int
+	// Err records why the point could not be evaluated (zero mapped
+	// layers); empty for evaluated points.
+	Err string
 }
 
 // EDP returns the point's energy-delay product (pJ·s).
 func (p Point) EDP() float64 { return p.Energy.Total() * p.Seconds }
 
-// String renders the Fig 14 tuple with headline metrics.
+// String renders the Fig 14 tuple with headline metrics, including the
+// failure reason for infeasible points.
 func (p Point) String() string {
-	return fmt.Sprintf("%s: %.1f uJ, %.3f ms, %.2f mm² (meets=%v)",
+	s := fmt.Sprintf("%s: %.1f uJ, %.3f ms, %.2f mm² (meets=%v)",
 		p.HW.Tuple(), p.Energy.Total()/1e6, p.Seconds*1e3, p.ChipletAreaMM2, p.MeetsArea)
+	if p.Err != "" {
+		s += " [error: " + p.Err + "]"
+	}
+	return s
 }
 
-// evaluate maps every layer of every model onto hw and aggregates.
-func evaluate(models []workload.Model, hw hardware.Config, cm *hardware.CostModel, areaLimit float64) (Point, error) {
-	pt := Point{HW: hw, ChipletAreaMM2: cm.ChipletAreaMM2(hw)}
-	pt.MeetsArea = areaLimit <= 0 || pt.ChipletAreaMM2 <= areaLimit
-	for _, m := range models {
-		res, err := mapper.SearchModel(m, hw, cm, mapper.Config{})
-		if err != nil {
-			return pt, err
-		}
+// pointOf aggregates one engine sweep point into a design point. A failed
+// evaluation is retained with zero layers and the failure reason so the
+// study can report it as infeasible.
+func pointOf(sp engine.SweepPoint, cm *hardware.CostModel, areaLimitMM2 float64) Point {
+	pt := Point{HW: sp.HW, ChipletAreaMM2: cm.ChipletAreaMM2(sp.HW)}
+	pt.MeetsArea = areaLimitMM2 <= 0 || pt.ChipletAreaMM2 <= areaLimitMM2
+	if sp.Err != nil {
+		pt.Err = sp.Err.Error()
+		return pt
+	}
+	for _, res := range sp.Results {
 		pt.Energy = pt.Energy.Add(res.Energy)
 		pt.Seconds += hardware.Seconds(res.Cycles)
 		pt.MappedLayers += len(res.Layers)
 		pt.SkippedLayers += len(res.Skipped)
 	}
-	return pt, nil
+	return pt
 }
 
 // GranularityResult is the Fig 14 study output for one model: every compute
@@ -172,25 +186,9 @@ func (g GranularityResult) BestEDP() (Point, bool) {
 // Granularity runs the Fig 14 chiplet-granularity study: every compute
 // allocation of totalMACs, memory assembled proportionally to computation,
 // each evaluated with the optimal per-layer mapping over the given model.
-func Granularity(model workload.Model, space Space, totalMACs int, areaLimitMM2 float64,
-	prop hardware.Proportion, cm *hardware.CostModel) (GranularityResult, error) {
-	configs := space.ComputeConfigs(totalMACs)
-	if len(configs) == 0 {
-		return GranularityResult{}, fmt.Errorf("dse: no compute allocation reaches %d MACs", totalMACs)
-	}
-	res := GranularityResult{Model: model.Name, Points: make([]Point, len(configs))}
-	parallelFor(len(configs), func(i int) {
-		hw := configs[i].WithProportionalMemory(prop)
-		pt, err := evaluate([]workload.Model{model}, hw, cm, areaLimitMM2)
-		if err != nil {
-			// Unmappable configurations are retained with zero layers so
-			// the study can report them as infeasible.
-			pt = Point{HW: hw, ChipletAreaMM2: cm.ChipletAreaMM2(hw)}
-			pt.MeetsArea = areaLimitMM2 <= 0 || pt.ChipletAreaMM2 <= areaLimitMM2
-		}
-		res.Points[i] = pt
-	})
-	return res, nil
+func Granularity(ctx context.Context, model workload.Model, space Space, totalMACs int,
+	areaLimitMM2 float64, prop hardware.Proportion, eng *engine.Evaluator) (GranularityResult, error) {
+	return granularity(ctx, []workload.Model{model}, model.Name, space, totalMACs, areaLimitMM2, prop, eng)
 }
 
 // GranularitySet runs the granularity study jointly over several target
@@ -198,29 +196,36 @@ func Granularity(model workload.Model, space Space, totalMACs int, areaLimitMM2 
 // network workloads", §IV-D): the energy, runtime and layer counts of each
 // point aggregate across all models, so the recommendation serves the whole
 // deployment set.
-func GranularitySet(models []workload.Model, space Space, totalMACs int, areaLimitMM2 float64,
-	prop hardware.Proportion, cm *hardware.CostModel) (GranularityResult, error) {
+func GranularitySet(ctx context.Context, models []workload.Model, space Space, totalMACs int,
+	areaLimitMM2 float64, prop hardware.Proportion, eng *engine.Evaluator) (GranularityResult, error) {
 	if len(models) == 0 {
 		return GranularityResult{}, fmt.Errorf("dse: no target models")
-	}
-	configs := space.ComputeConfigs(totalMACs)
-	if len(configs) == 0 {
-		return GranularityResult{}, fmt.Errorf("dse: no compute allocation reaches %d MACs", totalMACs)
 	}
 	names := make([]string, len(models))
 	for i, m := range models {
 		names[i] = m.Name
 	}
-	res := GranularityResult{Model: strings.Join(names, "+"), Points: make([]Point, len(configs))}
-	parallelFor(len(configs), func(i int) {
-		hw := configs[i].WithProportionalMemory(prop)
-		pt, err := evaluate(models, hw, cm, areaLimitMM2)
-		if err != nil {
-			pt = Point{HW: hw, ChipletAreaMM2: cm.ChipletAreaMM2(hw)}
-			pt.MeetsArea = areaLimitMM2 <= 0 || pt.ChipletAreaMM2 <= areaLimitMM2
-		}
-		res.Points[i] = pt
-	})
+	return granularity(ctx, models, strings.Join(names, "+"), space, totalMACs, areaLimitMM2, prop, eng)
+}
+
+func granularity(ctx context.Context, models []workload.Model, name string, space Space, totalMACs int,
+	areaLimitMM2 float64, prop hardware.Proportion, eng *engine.Evaluator) (GranularityResult, error) {
+	configs := space.ComputeConfigs(totalMACs)
+	if len(configs) == 0 {
+		return GranularityResult{}, fmt.Errorf("dse: no compute allocation reaches %d MACs", totalMACs)
+	}
+	hws := make([]hardware.Config, len(configs))
+	for i, c := range configs {
+		hws[i] = c.WithProportionalMemory(prop)
+	}
+	sweep, err := eng.EvalSweep(ctx, models, hws, mapper.Config{})
+	if err != nil {
+		return GranularityResult{}, err
+	}
+	res := GranularityResult{Model: name, Points: make([]Point, len(sweep))}
+	for i, sp := range sweep {
+		res.Points[i] = pointOf(sp, eng.CostModel(), areaLimitMM2)
+	}
 	return res, nil
 }
 
@@ -245,31 +250,4 @@ func (g GranularityResult) WithCosts(p fab.Process) []CostedPoint {
 		out = append(out, CostedPoint{Point: pt, Cost: c})
 	}
 	return out
-}
-
-// parallelFor runs f(i) for i in [0,n) across GOMAXPROCS workers.
-func parallelFor(n int, f func(int)) {
-	workers := min(n, runtime.GOMAXPROCS(0))
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				f(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 }

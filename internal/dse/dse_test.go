@@ -1,14 +1,23 @@
 package dse
 
 import (
+	"context"
+	"strings"
 	"testing"
 
+	"nnbaton/internal/engine"
 	"nnbaton/internal/fab"
 	"nnbaton/internal/hardware"
 	"nnbaton/internal/workload"
 )
 
 var cm = hardware.MustCostModel()
+
+// newEng builds a fresh evaluation engine per test so cache statistics and
+// results stay isolated.
+func newEng() *engine.Evaluator { return engine.New(cm) }
+
+var ctx = context.Background()
 
 // tinySpace keeps unit tests fast; the full Table II space is exercised by
 // the experiment benchmarks.
@@ -62,7 +71,7 @@ func TestTableIISpace(t *testing.T) {
 }
 
 func TestGranularityStudy(t *testing.T) {
-	res, err := Granularity(tinyModel(), tinySpace(), 512, 2.0, hardware.DefaultProportion(), cm)
+	res, err := Granularity(ctx, tinyModel(), tinySpace(), 512, 2.0, hardware.DefaultProportion(), newEng())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,13 +109,13 @@ func TestGranularityStudy(t *testing.T) {
 }
 
 func TestGranularityErrors(t *testing.T) {
-	if _, err := Granularity(tinyModel(), tinySpace(), 7, 2.0, hardware.DefaultProportion(), cm); err == nil {
+	if _, err := Granularity(ctx, tinyModel(), tinySpace(), 7, 2.0, hardware.DefaultProportion(), newEng()); err == nil {
 		t.Error("expected error for impossible MAC budget")
 	}
 }
 
 func TestExplore(t *testing.T) {
-	res, err := Explore(tinyModel(), tinySpace(), 512, 3.0, cm)
+	res, err := Explore(ctx, tinyModel(), tinySpace(), 512, 3.0, newEng())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +171,7 @@ func TestExploreInvalidPruning(t *testing.T) {
 	s := tinySpace()
 	s.AL1 = []int{128 * 1024}
 	s.AL2 = []int{32 * 1024}
-	res, err := Explore(tinyModel(), s, 512, 3.0, cm)
+	res, err := Explore(ctx, tinyModel(), s, 512, 3.0, newEng())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,20 +180,45 @@ func TestExploreInvalidPruning(t *testing.T) {
 	}
 }
 
-func TestParallelFor(t *testing.T) {
-	got := make([]int, 100)
-	parallelFor(len(got), func(i int) { got[i] = i * i })
-	for i, v := range got {
-		if v != i*i {
-			t.Fatalf("index %d = %d", i, v)
+// unmappableModel has a single layer no multi-chiplet configuration can
+// map (a 1x1 output plane with only 2 output channels), so every sweep
+// point fails and must record why.
+func unmappableModel() workload.Model {
+	return workload.Model{Name: "unmappable", Resolution: 8, Layers: []workload.Layer{
+		{Model: "unmappable", Name: "bad", HO: 1, WO: 1, CO: 2, CI: 8,
+			R: 1, S: 1, StrideH: 1, StrideW: 1},
+	}}
+}
+
+func TestGranularityRecordsFailureReason(t *testing.T) {
+	res, err := Granularity(ctx, unmappableModel(), tinySpace(), 512, 2.0, hardware.DefaultProportion(), newEng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range res.Points {
+		if p.MappedLayers != 0 {
+			t.Fatalf("unmappable model mapped %d layers on %s", p.MappedLayers, p.HW.Tuple())
+		}
+		if p.Err == "" {
+			t.Errorf("point %s has zero layers but no failure reason", p.HW.Tuple())
+		}
+		if !strings.Contains(p.String(), p.Err) {
+			t.Errorf("Point.String() %q does not surface the failure reason %q", p.String(), p.Err)
 		}
 	}
-	// n=0 and n=1 paths.
-	parallelFor(0, func(int) { t.Fatal("must not run") })
-	ran := false
-	parallelFor(1, func(int) { ran = true })
-	if !ran {
-		t.Error("single-element loop skipped")
+}
+
+func TestGranularityCancellation(t *testing.T) {
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Granularity(cctx, tinyModel(), tinySpace(), 512, 2.0, hardware.DefaultProportion(), newEng()); err == nil {
+		t.Error("cancelled granularity study returned no error")
+	}
+	if _, err := Explore(cctx, tinyModel(), tinySpace(), 512, 3.0, newEng()); err == nil {
+		t.Error("cancelled explore returned no error")
 	}
 }
 
@@ -199,14 +233,14 @@ func TestGranularitySet(t *testing.T) {
 	a := tinyModel()
 	b := tinyModel()
 	b.Name = "tiny2"
-	res, err := GranularitySet([]workload.Model{a, b}, tinySpace(), 512, 2.0, hardware.DefaultProportion(), cm)
+	res, err := GranularitySet(ctx, []workload.Model{a, b}, tinySpace(), 512, 2.0, hardware.DefaultProportion(), newEng())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Model != "tiny+tiny2" {
 		t.Errorf("joint name = %q", res.Model)
 	}
-	single, err := Granularity(a, tinySpace(), 512, 2.0, hardware.DefaultProportion(), cm)
+	single, err := Granularity(ctx, a, tinySpace(), 512, 2.0, hardware.DefaultProportion(), newEng())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,13 +258,13 @@ func TestGranularitySet(t *testing.T) {
 			t.Errorf("point %s: joint/single energy ratio %.3f, want 2", joint.HW.Tuple(), ratio)
 		}
 	}
-	if _, err := GranularitySet(nil, tinySpace(), 512, 2.0, hardware.DefaultProportion(), cm); err == nil {
+	if _, err := GranularitySet(ctx, nil, tinySpace(), 512, 2.0, hardware.DefaultProportion(), newEng()); err == nil {
 		t.Error("expected empty-set error")
 	}
 }
 
 func TestWithCosts(t *testing.T) {
-	res, err := Granularity(tinyModel(), tinySpace(), 512, 0, hardware.DefaultProportion(), cm)
+	res, err := Granularity(ctx, tinyModel(), tinySpace(), 512, 0, hardware.DefaultProportion(), newEng())
 	if err != nil {
 		t.Fatal(err)
 	}

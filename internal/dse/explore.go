@@ -1,11 +1,13 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"nnbaton/internal/c3p"
 	"nnbaton/internal/energy"
+	"nnbaton/internal/engine"
 	"nnbaton/internal/hardware"
 	"nnbaton/internal/mapper"
 	"nnbaton/internal/sim"
@@ -60,8 +62,12 @@ type candidate struct {
 // point through the C³P threshold step functions (TrafficAt), which is exact
 // for a fixed mapping. Invalid cases (A-L2 smaller than A-L1, buffers unable
 // to stage any candidate) are skipped, as §VI-B2 prescribes.
-func Explore(model workload.Model, space Space, totalMACs int, areaLimitMM2 float64,
-	cm *hardware.CostModel) (ExploreResult, error) {
+//
+// The anchor harvest goes through the engine's memoized search, so repeated
+// layer shapes — and any (shape, anchor) pair already searched by an earlier
+// study on the same evaluator — are never recomputed.
+func Explore(ctx context.Context, model workload.Model, space Space, totalMACs int,
+	areaLimitMM2 float64, eng *engine.Evaluator) (ExploreResult, error) {
 	computes := space.ComputeConfigs(totalMACs)
 	if len(computes) == 0 {
 		return ExploreResult{}, fmt.Errorf("dse: no compute allocation reaches %d MACs", totalMACs)
@@ -69,14 +75,21 @@ func Explore(model workload.Model, space Space, totalMACs int, areaLimitMM2 floa
 	res := ExploreResult{Model: model.Name}
 	var mu sync.Mutex
 
-	parallelFor(len(computes), func(ci int) {
+	err := engine.ParallelFor(ctx, len(computes), eng.Workers(), func(ci int) error {
 		comp := computes[ci]
-		points, swept := exploreCompute(model, space, comp, areaLimitMM2, cm)
+		points, swept, err := exploreCompute(ctx, model, space, comp, areaLimitMM2, eng)
+		if err != nil {
+			return err
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		res.Swept += swept
 		res.Points = append(res.Points, points...)
+		return nil
 	})
+	if err != nil {
+		return ExploreResult{}, err
+	}
 
 	for _, p := range res.Points {
 		if !p.MeetsArea {
@@ -110,16 +123,22 @@ func anchorConfigs(space Space, comp hardware.Config) []hardware.Config {
 	}
 }
 
-func exploreCompute(model workload.Model, space Space, comp hardware.Config,
-	areaLimitMM2 float64, cm *hardware.CostModel) ([]Point, int) {
-	// Harvest mapping candidates per layer at the anchor allocations.
+func exploreCompute(ctx context.Context, model workload.Model, space Space, comp hardware.Config,
+	areaLimitMM2 float64, eng *engine.Evaluator) ([]Point, int, error) {
+	// Harvest mapping candidates per layer at the anchor allocations. The
+	// engine deduplicates repeated shapes and coalesces identical anchor
+	// searches issued by concurrent compute configurations.
 	pool := make([][]candidate, len(model.Layers))
 	for _, anchor := range anchorConfigs(space, comp) {
 		if anchor.Validate() != nil {
 			continue
 		}
 		for li, l := range model.Layers {
-			for _, opt := range mapper.SearchAll(l, anchor, cm, mapper.Config{KeepTop: 4}) {
+			opts, err := eng.SearchAll(ctx, l, anchor, mapper.Config{KeepTop: 4})
+			if err != nil {
+				return nil, 0, err
+			}
+			for _, opt := range opts {
 				pool[li] = append(pool[li], candidate{layer: li, a: opt.Analysis})
 			}
 		}
@@ -140,14 +159,14 @@ func exploreCompute(model workload.Model, space Space, comp hardware.Config,
 					hw.OL1Bytes = olPerLane * comp.Lanes
 					hw.AL1Bytes, hw.WL1Bytes, hw.AL2Bytes = al1, wl1, al2
 					hw.OL2Bytes = al2 / 2
-					if pt, ok := priceMemoryPoint(model, hw, pool, areaLimitMM2, cm); ok {
+					if pt, ok := priceMemoryPoint(model, hw, pool, areaLimitMM2, eng.CostModel()); ok {
 						points = append(points, pt)
 					}
 				}
 			}
 		}
 	}
-	return points, swept
+	return points, swept, nil
 }
 
 // priceMemoryPoint re-prices the pooled candidates at one memory allocation

@@ -1,0 +1,330 @@
+// Package engine is the unified evaluation core every NN-Baton flow routes
+// through: the post-design mapper (baton.MapModel), the Fig 14/15 pre-design
+// sweeps (internal/dse), the Simba comparison and the experiment drivers.
+//
+// The per-layer exhaustive mapping search (mapper.SearchAll) is by far the
+// dominant cost of every flow, and it depends only on the layer *shape*
+// (stride/kernel/channel/plane tuple), never on the layer name: ResNet-50
+// repeats the res2a_branch2b shape across every res2 block, DarkNet-19
+// duplicates its 3×3/1×1 alternation, and a DSE sweep re-searches the same
+// layers at every anchor configuration. The engine therefore memoizes search
+// results in a concurrency-safe cache keyed on (ShapeKey, HWKey, search
+// Config), with singleflight-style deduplication so concurrent DSE workers
+// never compute the same search twice — the analytical-DSE trick MAESTRO and
+// DNN-Chip Predictor key their evaluation on.
+//
+// All parallelism funnels through one bounded worker discipline: ParallelFor
+// fans work out across a bounded goroutine set with context.Context
+// cancellation, and a shared semaphore bounds the number of concurrently
+// *computing* searches, so nested fan-out (a hardware sweep over models over
+// layers) never oversubscribes the machine and a cancelled context unwinds
+// the whole tree.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"nnbaton/internal/hardware"
+	"nnbaton/internal/mapper"
+	"nnbaton/internal/workload"
+)
+
+// ShapeKey canonically identifies a layer workload shape: two layers with
+// equal keys have identical mapping spaces, traffic analyses and energy on
+// any hardware. Model and layer names are deliberately excluded; the group
+// count is normalized (0 and 1 both mean dense).
+type ShapeKey struct {
+	HO, WO, CO, CI   int
+	R, S             int
+	StrideH, StrideW int
+	PadH, PadW       int
+	Groups           int
+}
+
+// ShapeOf returns the canonical shape key of a layer.
+func ShapeOf(l workload.Layer) ShapeKey {
+	return ShapeKey{
+		HO: l.HO, WO: l.WO, CO: l.CO, CI: l.CI,
+		R: l.R, S: l.S,
+		StrideH: l.StrideH, StrideW: l.StrideW,
+		PadH: l.PadH, PadW: l.PadW,
+		Groups: l.G(),
+	}
+}
+
+// HWKey identifies a hardware configuration for cache keying. Config is a
+// pure value type, so the key is the configuration itself.
+type HWKey hardware.Config
+
+// HWOf returns the cache key of a hardware configuration.
+func HWOf(hw hardware.Config) HWKey { return HWKey(hw) }
+
+// searchKey is the full memoization key of one exhaustive layer search.
+type searchKey struct {
+	shape ShapeKey
+	hw    HWKey
+	cfg   mapper.Config
+}
+
+// entry is one cache slot. The leader that created it computes the search,
+// stores opts and closes done; waiters block on done (or their context).
+type entry struct {
+	done chan struct{}
+	opts []mapper.Option
+	err  error // only set when the leader was cancelled before computing
+}
+
+// Stats is a snapshot of the engine's cache counters.
+type Stats struct {
+	// Lookups counts SearchAll requests.
+	Lookups int64
+	// Searches counts actual mapper.SearchAll invocations (cache misses).
+	Searches int64
+	// Hits counts requests served from a completed cache entry.
+	Hits int64
+	// Coalesced counts requests that waited on an in-flight identical
+	// search instead of recomputing it (singleflight deduplication).
+	Coalesced int64
+}
+
+// String renders the counters with the effective deduplication factor.
+func (s Stats) String() string {
+	dedup := 1.0
+	if s.Searches > 0 {
+		dedup = float64(s.Lookups) / float64(s.Searches)
+	}
+	return fmt.Sprintf("engine: %d lookups, %d searches, %d hits, %d coalesced (%.1fx dedup)",
+		s.Lookups, s.Searches, s.Hits, s.Coalesced, dedup)
+}
+
+// Evaluator is the concurrent evaluation core: a memoized layer-search cache
+// plus the bounded worker discipline. One Evaluator is intended to live as
+// long as its cost model — the Baton façade keeps one for its lifetime, so
+// the cache persists across MapModel, Granularity and Explore calls.
+type Evaluator struct {
+	cm      *hardware.CostModel
+	workers int
+	sem     chan struct{} // bounds concurrently *computing* searches
+
+	mu    sync.Mutex
+	cache map[searchKey]*entry
+
+	lookups, searches, hits, coalesced atomic.Int64
+}
+
+// New builds an evaluator over a cost model with GOMAXPROCS workers.
+func New(cm *hardware.CostModel) *Evaluator { return NewWithWorkers(cm, 0) }
+
+// NewWithWorkers builds an evaluator with an explicit compute-concurrency
+// bound (<=0 means GOMAXPROCS).
+func NewWithWorkers(cm *hardware.CostModel, workers int) *Evaluator {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Evaluator{
+		cm:      cm,
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		cache:   make(map[searchKey]*entry),
+	}
+}
+
+// CostModel returns the cost model the evaluator prices with.
+func (e *Evaluator) CostModel() *hardware.CostModel { return e.cm }
+
+// Workers returns the compute-concurrency bound.
+func (e *Evaluator) Workers() int { return e.workers }
+
+// Stats snapshots the cache counters.
+func (e *Evaluator) Stats() Stats {
+	return Stats{
+		Lookups:   e.lookups.Load(),
+		Searches:  e.searches.Load(),
+		Hits:      e.hits.Load(),
+		Coalesced: e.coalesced.Load(),
+	}
+}
+
+// normalize folds the SearchAll KeepTop default into the cache key so
+// equivalent configurations share one entry.
+func normalize(cfg mapper.Config) mapper.Config {
+	if cfg.KeepTop <= 0 {
+		cfg.KeepTop = 8
+	}
+	return cfg
+}
+
+// retag re-identifies cached options for the requesting layer: the analysis
+// is shape-identical by construction of the key, only the layer identity
+// (model/name) differs. Each option gets a fresh Analysis copy so callers
+// never alias the cached slot.
+func retag(opts []mapper.Option, l workload.Layer) []mapper.Option {
+	out := make([]mapper.Option, len(opts))
+	for i, o := range opts {
+		a := *o.Analysis
+		a.Layer = l
+		out[i] = mapper.Option{Analysis: &a, Energy: o.Energy, Cycles: o.Cycles}
+	}
+	return out
+}
+
+// SearchAll is the memoized mapper.SearchAll: the first request for a
+// (shape, hardware, config) key computes the exhaustive search under the
+// worker semaphore; concurrent identical requests coalesce onto that
+// computation, and later requests are served from the cache. Returned
+// options carry the identity of the requested layer.
+func (e *Evaluator) SearchAll(ctx context.Context, l workload.Layer, hw hardware.Config, cfg mapper.Config) ([]mapper.Option, error) {
+	// Check up front: a select between a free semaphore slot and a closed
+	// Done channel picks either arm, so without this a cancelled request
+	// could still start an expensive search.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg = normalize(cfg)
+	key := searchKey{shape: ShapeOf(l), hw: HWOf(hw), cfg: cfg}
+	e.lookups.Add(1)
+
+	e.mu.Lock()
+	if en, ok := e.cache[key]; ok {
+		e.mu.Unlock()
+		select {
+		case <-en.done:
+			e.hits.Add(1)
+		default:
+			e.coalesced.Add(1)
+			select {
+			case <-en.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if en.err != nil {
+			// The leader was cancelled before computing; its entry has been
+			// removed, so retry (the caller may still have a live context).
+			return e.SearchAll(ctx, l, hw, cfg)
+		}
+		return retag(en.opts, l), nil
+	}
+	en := &entry{done: make(chan struct{})}
+	e.cache[key] = en
+	e.mu.Unlock()
+
+	abort := func(err error) ([]mapper.Option, error) {
+		en.err = err
+		e.mu.Lock()
+		delete(e.cache, key)
+		e.mu.Unlock()
+		close(en.done)
+		return nil, err
+	}
+	select {
+	case e.sem <- struct{}{}:
+		if err := ctx.Err(); err != nil {
+			<-e.sem
+			return abort(err)
+		}
+	case <-ctx.Done():
+		return abort(ctx.Err())
+	}
+	e.searches.Add(1)
+	en.opts = mapper.SearchAll(l, hw, e.cm, cfg)
+	<-e.sem
+	close(en.done)
+	return retag(en.opts, l), nil
+}
+
+// EvalLayer returns the optimal mapping option for one layer, served from
+// the cache when the shape has been searched before.
+func (e *Evaluator) EvalLayer(ctx context.Context, l workload.Layer, hw hardware.Config, cfg mapper.Config) (mapper.Option, error) {
+	cfg.KeepTop = 1
+	opts, err := e.SearchAll(ctx, l, hw, cfg)
+	if err != nil {
+		return mapper.Option{}, err
+	}
+	if len(opts) == 0 {
+		return mapper.Option{}, fmt.Errorf("engine: no valid mapping for %s on %s", l.String(), hw.Tuple())
+	}
+	return opts[0], nil
+}
+
+// EvalModel maps every layer of a model with the per-layer optimal strategy,
+// searching the layers in parallel. Aggregation runs sequentially in layer
+// order, so the result is bit-identical to the sequential
+// mapper.SearchModel reference path.
+func (e *Evaluator) EvalModel(ctx context.Context, m workload.Model, hw hardware.Config, cfg mapper.Config) (mapper.ModelResult, error) {
+	found := make([]*mapper.Option, len(m.Layers))
+	err := ParallelFor(ctx, len(m.Layers), e.workers, func(i int) error {
+		o, err := e.EvalLayer(ctx, m.Layers[i], hw, cfg)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return nil // unmappable layer: recorded as skipped below
+		}
+		found[i] = &o
+		return nil
+	})
+	if err != nil {
+		return mapper.ModelResult{}, err
+	}
+	res := mapper.ModelResult{Model: m}
+	for i, l := range m.Layers {
+		if found[i] == nil {
+			res.Skipped = append(res.Skipped, l.Name)
+			continue
+		}
+		res.Layers = append(res.Layers, *found[i])
+		res.Energy = res.Energy.Add(found[i].Energy)
+		res.Cycles += found[i].Cycles
+	}
+	if len(res.Layers) == 0 {
+		return res, fmt.Errorf("engine: no layer of %s maps onto %s", m.Name, hw.Tuple())
+	}
+	return res, nil
+}
+
+// SweepPoint is the evaluation of a model set on one hardware configuration.
+type SweepPoint struct {
+	HW hardware.Config
+	// Results holds one ModelResult per input model, in order. Empty when
+	// Err is set.
+	Results []mapper.ModelResult
+	// Err records why the point could not be evaluated (e.g. no layer of
+	// some model maps onto the configuration).
+	Err error
+}
+
+// EvalSweep evaluates every model on every hardware configuration — the
+// inner loop of the pre-design flow. Points run in parallel and all layer
+// searches share the cache, so configurations repeating a (shape, hardware)
+// pair never recompute it. A failed point is recorded on its SweepPoint
+// rather than aborting the sweep; only context cancellation returns an
+// error.
+func (e *Evaluator) EvalSweep(ctx context.Context, models []workload.Model, hws []hardware.Config, cfg mapper.Config) ([]SweepPoint, error) {
+	pts := make([]SweepPoint, len(hws))
+	err := ParallelFor(ctx, len(hws), e.workers, func(i int) error {
+		pt := SweepPoint{HW: hws[i]}
+		for _, m := range models {
+			res, err := e.EvalModel(ctx, m, hws[i], cfg)
+			if err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				pt.Err = err
+				pt.Results = nil
+				break
+			}
+			pt.Results = append(pt.Results, res)
+		}
+		pts[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pts, nil
+}

@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"nnbaton/internal/hardware"
+	"nnbaton/internal/mapper"
+	"nnbaton/internal/workload"
+)
+
+// TestEvalModelEquivalence proves the tentpole invariant: the engine's
+// shape-deduplicated, memoized, parallel EvalModel produces bit-identical
+// results to the sequential uncached mapper.SearchModel reference path —
+// same per-layer mappings, energies and cycle counts, and identical
+// aggregates — for every zoo model on the case-study hardware.
+func TestEvalModelEquivalence(t *testing.T) {
+	hw := hardware.CaseStudy()
+	e := New(cm)
+	models := append(workload.Models(224), workload.MobileNetV2(224))
+	for _, m := range models {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			want, wantErr := mapper.SearchModel(m, hw, cm, mapper.Config{})
+			got, gotErr := e.EvalModel(context.Background(), m, hw, mapper.Config{})
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("error mismatch: direct=%v engine=%v", wantErr, gotErr)
+			}
+			if wantErr != nil {
+				return
+			}
+			if len(got.Layers) != len(want.Layers) {
+				t.Fatalf("mapped %d layers, reference mapped %d", len(got.Layers), len(want.Layers))
+			}
+			if len(got.Skipped) != len(want.Skipped) {
+				t.Fatalf("skipped %v, reference skipped %v", got.Skipped, want.Skipped)
+			}
+			for i := range want.Skipped {
+				if got.Skipped[i] != want.Skipped[i] {
+					t.Errorf("skipped[%d] = %q, want %q", i, got.Skipped[i], want.Skipped[i])
+				}
+			}
+			for i := range want.Layers {
+				w, g := want.Layers[i], got.Layers[i]
+				if g.Analysis.Layer.Name != w.Analysis.Layer.Name {
+					t.Errorf("layer %d identity %q, want %q", i, g.Analysis.Layer.Name, w.Analysis.Layer.Name)
+				}
+				if g.Analysis.Map.String() != w.Analysis.Map.String() {
+					t.Errorf("layer %s mapping %q, want %q",
+						w.Analysis.Layer.Name, g.Analysis.Map.String(), w.Analysis.Map.String())
+				}
+				if g.Energy != w.Energy {
+					t.Errorf("layer %s energy %+v, want %+v", w.Analysis.Layer.Name, g.Energy, w.Energy)
+				}
+				if g.Cycles != w.Cycles {
+					t.Errorf("layer %s cycles %d, want %d", w.Analysis.Layer.Name, g.Cycles, w.Cycles)
+				}
+			}
+			if got.Energy != want.Energy {
+				t.Errorf("aggregate energy %+v, want %+v", got.Energy, want.Energy)
+			}
+			if got.Cycles != want.Cycles {
+				t.Errorf("aggregate cycles %d, want %d", got.Cycles, want.Cycles)
+			}
+		})
+	}
+	// The cache must also serve a *repeat* evaluation identically.
+	m := workload.ResNet50(224)
+	first, err := e.EvalModel(context.Background(), m, hw, mapper.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.Stats().Searches
+	second, err := e.EvalModel(context.Background(), m, hw, mapper.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Searches != before {
+		t.Errorf("warm repeat ran %d extra searches", e.Stats().Searches-before)
+	}
+	if first.Energy != second.Energy || first.Cycles != second.Cycles {
+		t.Error("warm-cache evaluation differs from the first evaluation")
+	}
+}
+
+// TestResNet50ShapeDeduplication pins the acceptance criterion: ResNet-50's
+// repeated residual-block shapes mean a cold EvalModel must run at least 2x
+// fewer exhaustive searches than the model has layers.
+func TestResNet50ShapeDeduplication(t *testing.T) {
+	e := New(cm)
+	m := workload.ResNet50(224)
+	if _, err := e.EvalModel(context.Background(), m, hardware.CaseStudy(), mapper.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if int(st.Searches)*2 > len(m.Layers) {
+		t.Errorf("cold ResNet-50 ran %d searches over %d layers; want >=2x shape dedup",
+			st.Searches, len(m.Layers))
+	}
+	if st.Lookups != int64(len(m.Layers)) {
+		t.Errorf("lookups = %d, want one per layer (%d)", st.Lookups, len(m.Layers))
+	}
+}

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// ParallelFor runs f(i) for i in [0, n) across at most `workers` goroutines
+// (<=0 means GOMAXPROCS), honoring context cancellation. Dispatch stops at
+// the first error or at cancellation; indices already dispatched run to
+// completion. The first error (or the context's error) is returned.
+//
+// It subsumes the former dse.parallelFor and is the single fan-out primitive
+// of the evaluation engine; nesting is safe because the engine bounds actual
+// search computation with its own semaphore, never this goroutine count.
+func ParallelFor(ctx context.Context, n, workers int, f func(int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	workers = min(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		next     = make(chan int)
+		stop     = make(chan struct{})
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			close(stop)
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := f(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-stop:
+			break dispatch
+		case <-ctx.Done():
+			fail(ctx.Err())
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}

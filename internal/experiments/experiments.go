@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -12,6 +13,7 @@ import (
 	"nnbaton/internal/c3p"
 	"nnbaton/internal/dse"
 	"nnbaton/internal/energy"
+	"nnbaton/internal/engine"
 	"nnbaton/internal/fab"
 	"nnbaton/internal/halo"
 	"nnbaton/internal/hardware"
@@ -25,6 +27,11 @@ import (
 )
 
 var cm = hardware.MustCostModel()
+
+// eng is the evaluation engine shared by every experiment driver: layer
+// searches are memoized on layer shape, so the drivers reuse each other's
+// work (e.g. fig13's VGG-16 searches warm the cache for ext-fusion).
+var eng = engine.New(cm)
 
 // Experiment is one regenerable paper artifact.
 type Experiment struct {
@@ -292,7 +299,7 @@ func fig14(w io.Writer, quick bool) error {
 		models = models[:1]
 	}
 	for _, m := range models {
-		res, err := dse.Granularity(m, space, 2048, 2.0, hardware.DefaultProportion(), cm)
+		res, err := dse.Granularity(context.Background(), m, space, 2048, 2.0, hardware.DefaultProportion(), eng)
 		if err != nil {
 			return err
 		}
@@ -333,7 +340,7 @@ func fig15(w io.Writer, quick bool) error {
 		benches = []workload.Model{workload.VGG16(224)}
 	}
 	for _, m := range benches {
-		res, err := dse.Explore(m, space, 4096, 3.0, cm)
+		res, err := dse.Explore(context.Background(), m, space, 4096, 3.0, eng)
 		if err != nil {
 			return err
 		}
@@ -383,7 +390,7 @@ func extFusion(w io.Writer, quick bool) error {
 	t := report.New("Extension: inter-layer fusion (Tangram-style, §VII-A)",
 		"model", "groups", "fused edges", "saved DRAM MB", "unfused mJ", "fused mJ", "saving")
 	for _, m := range models {
-		res, err := mapper.SearchModel(m, hw, cm, mapper.Config{})
+		res, err := eng.EvalModel(context.Background(), m, hw, mapper.Config{})
 		if err != nil {
 			return err
 		}
@@ -475,7 +482,7 @@ func extLayout(w io.Writer, _ bool) error {
 func extMobileNet(w io.Writer, _ bool) error {
 	hw := hardware.CaseStudy()
 	m := workload.MobileNetV2(224)
-	res, err := mapper.SearchModel(m, hw, cm, mapper.Config{})
+	res, err := eng.EvalModel(context.Background(), m, hw, mapper.Config{})
 	if err != nil {
 		return err
 	}

@@ -334,9 +334,21 @@ type ModelResult struct {
 	Skipped []string // layers with no valid mapping
 }
 
+// Complete reports whether every layer of the model mapped: the aggregate
+// Energy/Cycles only describe the whole model when this holds. Flows that
+// compare models across configurations (CompareSimba, the DSE validity
+// check) must reject incomplete results rather than compare unequal work.
+func (r ModelResult) Complete() bool {
+	return len(r.Skipped) == 0 && len(r.Layers) == len(r.Model.Layers)
+}
+
 // SearchModel maps every layer of a model with the per-layer optimal
 // strategy ("NN-Baton provides a distinct mapping strategy layer-wise",
 // §VI-A1) and aggregates energy and runtime.
+//
+// This is the sequential, uncached reference path; production flows route
+// through engine.EvalModel, which parallelizes the per-layer search and
+// memoizes it on layer shape while producing bit-identical results.
 func SearchModel(m workload.Model, hw hardware.Config, cm *hardware.CostModel, cfg Config) (ModelResult, error) {
 	res := ModelResult{Model: m}
 	for _, l := range m.Layers {
