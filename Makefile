@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench vet race check
+.PHONY: build test bench vet race fuzz check
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,11 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# fuzz is a short smoke run of the model-description parser fuzzer — long
+# enough to re-find the historical zero-stride crashers, short enough for CI.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/workload
 
 # check is the pre-merge gate: static analysis plus the full suite under the
 # race detector (the engine is concurrent; plain `go test` won't catch races).

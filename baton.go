@@ -34,6 +34,7 @@ import (
 	"nnbaton/internal/hardware"
 	"nnbaton/internal/mapper"
 	"nnbaton/internal/mapping"
+	"nnbaton/internal/obs"
 	"nnbaton/internal/pipeline"
 	"nnbaton/internal/simba"
 	"nnbaton/internal/workload"
@@ -104,6 +105,21 @@ func TableIISpace() Space { return dse.TableII() }
 // counters (lookups, actual searches, hits, coalesced in-flight waits).
 type EngineStats = engine.Stats
 
+// Observability re-exports (internal/obs). A nil registry or sink disables
+// the corresponding instrumentation at near-zero cost.
+type (
+	// Metrics is the concurrency-safe metrics registry: counters, gauges
+	// and per-phase duration histograms, dumped as JSON by the CLIs'
+	// -metrics flag.
+	Metrics = obs.Registry
+	// ProgressSink receives sweep progress events (points done/total,
+	// failures, ETA) from the pre-design flows.
+	ProgressSink = obs.ProgressSink
+)
+
+// NewMetrics builds an empty metrics registry for NewObserved.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
 // Baton is the NN-Baton automatic tool (Fig 9): it bundles the C³P
 // evaluation engine with the fitted 16 nm cost model. All flows share one
 // evaluation engine, so layer searches are memoized on layer shape for the
@@ -116,8 +132,18 @@ type Baton struct {
 
 // New builds the tool with the default 16 nm cost model.
 func New() *Baton {
+	return NewObserved(nil, nil)
+}
+
+// NewObserved builds the tool with an attached metrics registry and sweep
+// progress sink; either may be nil. The engine's cache counters and phase
+// timings register under reg, and the pre-design sweeps report progress to
+// sink. Library-level phases (c3p.analyze, sim.pipeline, halo.redundancy)
+// report to the process-wide default registry — install reg there with
+// obs.SetDefault to capture them too, as the CLIs' -metrics flag does.
+func NewObserved(reg *Metrics, sink ProgressSink) *Baton {
 	cm := hardware.MustCostModel()
-	return &Baton{cm: cm, eng: engine.New(cm)}
+	return &Baton{cm: cm, eng: engine.NewObserved(cm, 0, reg, sink)}
 }
 
 // EngineStats snapshots the shared evaluation engine's cache counters.

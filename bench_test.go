@@ -7,6 +7,7 @@ package nnbaton
 
 import (
 	"context"
+	"io"
 	"testing"
 
 	"nnbaton/internal/c3p"
@@ -18,6 +19,7 @@ import (
 	"nnbaton/internal/hardware"
 	"nnbaton/internal/mapper"
 	"nnbaton/internal/mapping"
+	"nnbaton/internal/obs"
 	"nnbaton/internal/simba"
 	"nnbaton/internal/workload"
 )
@@ -325,6 +327,30 @@ func BenchmarkEngineEvalModelResNet50Warm(b *testing.B) {
 	m := ResNet50(224)
 	hw := CaseStudyHardware()
 	eng := engine.New(benchCM)
+	if _, err := eng.EvalModel(context.Background(), m, hw, mapper.Config{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.EvalModel(context.Background(), m, hw, mapper.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Complete() {
+			b.Fatal("incomplete mapping")
+		}
+	}
+}
+
+// BenchmarkEngineEvalModelResNet50WarmObserved is the warm-cache evaluation
+// with a live metrics registry and progress sink attached. Compare against
+// BenchmarkEngineEvalModelResNet50Warm (the nil-sink fast path) to bound the
+// cost of enabling observability; the nil path itself must not regress.
+func BenchmarkEngineEvalModelResNet50WarmObserved(b *testing.B) {
+	m := ResNet50(224)
+	hw := CaseStudyHardware()
+	eng := engine.NewObserved(benchCM, 0, obs.NewRegistry(), obs.NewWriterSink(io.Discard))
 	if _, err := eng.EvalModel(context.Background(), m, hw, mapper.Config{}); err != nil {
 		b.Fatal(err)
 	}

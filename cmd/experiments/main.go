@@ -14,13 +14,38 @@ import (
 	"os"
 
 	"nnbaton/internal/experiments"
+	"nnbaton/internal/obs"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (or 'all')")
 	quick := flag.Bool("quick", false, "reduced workloads for a fast pass")
 	list := flag.Bool("list", false, "list experiment ids")
+	metrics := flag.String("metrics", "", "write per-phase timing and engine cache metrics as JSON to this file on exit")
+	progress := flag.Bool("progress", false, "report sweep progress on stderr")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		obs.SetDefault(reg)
+	}
+	var sink obs.ProgressSink
+	if *progress {
+		sink = obs.NewWriterSink(os.Stderr)
+	}
+	if reg != nil || sink != nil {
+		experiments.SetObserver(reg, sink)
+	}
+	if *metrics != "" {
+		defer func() {
+			if err := reg.WriteFile(*metrics); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "wrote metrics to %s\n", *metrics)
+			}
+		}()
+	}
 
 	all := experiments.All()
 	if *list {

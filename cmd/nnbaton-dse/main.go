@@ -18,42 +18,82 @@ import (
 	"sort"
 
 	"nnbaton"
+	"nnbaton/internal/obs"
 	"nnbaton/internal/report"
 	"nnbaton/internal/workload"
 )
 
+// options collects the flag values of one invocation.
+type options struct {
+	model     string
+	res       int
+	macs      int
+	area      float64
+	mode      string
+	stats     bool
+	progress  bool
+	metrics   string
+	pprofAddr string
+}
+
 func main() {
-	var (
-		model = flag.String("model", "vgg16", "model name (see workload.Load) or .txt description file")
-		res   = flag.Int("res", 224, "input resolution (224 or 512)")
-		macs  = flag.Int("macs", 2048, "total MAC budget")
-		area  = flag.Float64("area", 2.0, "chiplet area constraint in mm² (0 = unconstrained)")
-		mode  = flag.String("mode", "granularity", "granularity | explore | cost")
-		stats = flag.Bool("stats", false, "print engine search-cache statistics after the sweep")
-	)
+	var o options
+	flag.StringVar(&o.model, "model", "vgg16", "model name (see workload.Load) or .txt description file")
+	flag.IntVar(&o.res, "res", 224, "input resolution (224 or 512)")
+	flag.IntVar(&o.macs, "macs", 2048, "total MAC budget")
+	flag.Float64Var(&o.area, "area", 2.0, "chiplet area constraint in mm² (0 = unconstrained)")
+	flag.StringVar(&o.mode, "mode", "granularity", "granularity | explore | cost")
+	flag.BoolVar(&o.stats, "stats", false, "print engine search-cache statistics after the sweep")
+	flag.BoolVar(&o.progress, "progress", false, "report sweep progress (points done/total, failures, ETA) on stderr")
+	flag.StringVar(&o.metrics, "metrics", "", "write per-phase timing and engine cache metrics as JSON to this file on exit")
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	// Sweeps can run for minutes; Ctrl-C cancels the evaluation engine's
 	// workers cleanly instead of killing the process mid-write.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *model, *res, *macs, *area, *mode, *stats); err != nil {
+	if err := run(ctx, o); err != nil {
 		fmt.Fprintln(os.Stderr, "nnbaton-dse:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, modelName string, res, macs int, area float64, mode string, stats bool) error {
-	m, err := workload.Load(modelName, res)
+func run(ctx context.Context, o options) error {
+	if o.pprofAddr != "" {
+		addr, err := obs.ServePprof(o.pprofAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", addr)
+	}
+	m, err := workload.Load(o.model, o.res)
 	if err != nil {
 		return err
 	}
-	tool := nnbaton.New()
+	var reg *obs.Registry
+	if o.metrics != "" {
+		reg = obs.NewRegistry()
+		obs.SetDefault(reg) // capture c3p/sim/halo phases too
+		defer func() {
+			if err := reg.WriteFile(o.metrics); err != nil {
+				fmt.Fprintln(os.Stderr, "nnbaton-dse:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "wrote metrics to %s\n", o.metrics)
+			}
+		}()
+	}
+	var sink obs.ProgressSink
+	if o.progress {
+		sink = obs.NewWriterSink(os.Stderr)
+	}
+	tool := nnbaton.NewObserved(reg, sink)
 	defer func() {
-		if stats {
+		if o.stats {
 			fmt.Fprintln(os.Stderr, tool.EngineStats())
 		}
 	}()
-	switch mode {
+	macs, area := o.macs, o.area
+	switch o.mode {
 	case "granularity":
 		return granularity(ctx, tool, m, macs, area)
 	case "explore":
@@ -61,7 +101,7 @@ func run(ctx context.Context, modelName string, res, macs int, area float64, mod
 	case "cost":
 		return cost(ctx, tool, m, macs, area)
 	}
-	return fmt.Errorf("unknown mode %q (granularity|explore|cost)", mode)
+	return fmt.Errorf("unknown mode %q (granularity|explore|cost)", o.mode)
 }
 
 // cost runs the granularity study and prices every implementation under the

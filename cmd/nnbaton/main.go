@@ -8,6 +8,7 @@
 //	nnbaton -model vgg16 -res 224                 # case-study hardware
 //	nnbaton -model resnet50 -chiplets 2 -cores 8 -lanes 16 -vector 16
 //	nnbaton -model vgg16 -layer conv12 -simba     # one layer + baseline
+//	nnbaton -model vgg16 -metrics out.json        # per-phase timing dump
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"nnbaton/internal/c3p"
 	"nnbaton/internal/energy"
 	"nnbaton/internal/hardware"
+	"nnbaton/internal/obs"
 	"nnbaton/internal/report"
 	"nnbaton/internal/sim"
 	"nnbaton/internal/simba"
@@ -27,30 +29,57 @@ import (
 	"nnbaton/internal/workload"
 )
 
+// options collects the flag values of one invocation.
+type options struct {
+	model     string
+	res       int
+	layer     string
+	simba     bool
+	trace     bool
+	stats     bool
+	chiplets  int
+	cores     int
+	lanes     int
+	vector    int
+	out       string
+	load      string
+	metrics   string
+	pprofAddr string
+}
+
 func main() {
-	var (
-		model    = flag.String("model", "vgg16", "model: alexnet|vgg16|resnet50|darknet19|mobilenetv2, or a .txt description file")
-		res      = flag.Int("res", 224, "input resolution (224 or 512)")
-		layer    = flag.String("layer", "", "map a single named layer instead of the whole model")
-		withSim  = flag.Bool("simba", false, "also evaluate the Simba weight-centric baseline")
-		chiplets = flag.Int("chiplets", 0, "override: chiplets per package")
-		cores    = flag.Int("cores", 0, "override: cores per chiplet")
-		lanes    = flag.Int("lanes", 0, "override: lanes per core")
-		vector   = flag.Int("vector", 0, "override: vector-MAC size")
-		out      = flag.String("o", "", "write the mapping strategy to this JSON file")
-		trace    = flag.Bool("trace", false, "with -layer: run the discrete-event trace and print a pipeline timeline")
-		load     = flag.String("load", "", "load and reprice a strategy JSON file instead of searching")
-		stats    = flag.Bool("stats", false, "print engine search-cache statistics (shape deduplication) after mapping")
-	)
+	var o options
+	flag.StringVar(&o.model, "model", "vgg16", "model: alexnet|vgg16|resnet50|darknet19|mobilenetv2|yolov2, or a .txt description file")
+	flag.IntVar(&o.res, "res", 224, "input resolution (224 or 512)")
+	flag.StringVar(&o.layer, "layer", "", "map a single named layer instead of the whole model")
+	flag.BoolVar(&o.simba, "simba", false, "also evaluate the Simba weight-centric baseline")
+	flag.IntVar(&o.chiplets, "chiplets", 0, "override: chiplets per package")
+	flag.IntVar(&o.cores, "cores", 0, "override: cores per chiplet")
+	flag.IntVar(&o.lanes, "lanes", 0, "override: lanes per core")
+	flag.IntVar(&o.vector, "vector", 0, "override: vector-MAC size")
+	flag.StringVar(&o.out, "o", "", "write the mapping strategy to this JSON file")
+	flag.BoolVar(&o.trace, "trace", false, "with -layer: run the discrete-event trace and print a pipeline timeline")
+	flag.StringVar(&o.load, "load", "", "load and reprice a strategy JSON file instead of searching")
+	flag.BoolVar(&o.stats, "stats", false, "print engine search-cache statistics (shape deduplication) after mapping")
+	flag.StringVar(&o.metrics, "metrics", "", "write per-phase timing and engine cache metrics as JSON to this file on exit")
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
-	if *load != "" {
-		if err := reprice(*load); err != nil {
+	if o.pprofAddr != "" {
+		addr, err := obs.ServePprof(o.pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nnbaton:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", addr)
+	}
+	if o.load != "" {
+		if err := reprice(o.load); err != nil {
 			fmt.Fprintln(os.Stderr, "nnbaton:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*model, *res, *layer, *withSim, *trace, *stats, *chiplets, *cores, *lanes, *vector, *out); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "nnbaton:", err)
 		os.Exit(1)
 	}
@@ -79,36 +108,48 @@ func reprice(path string) error {
 	return nil
 }
 
-func run(modelName string, res int, layerName string, withSimba, withTrace, withStats bool, chiplets, cores, lanes, vector int, out string) error {
-	m, err := workload.Load(modelName, res)
+func run(o options) error {
+	m, err := workload.Load(o.model, o.res)
 	if err != nil {
 		return err
 	}
 	hw := nnbaton.CaseStudyHardware()
-	if chiplets > 0 || cores > 0 || lanes > 0 || vector > 0 {
-		if chiplets > 0 {
-			hw.Chiplets = chiplets
+	if o.chiplets > 0 || o.cores > 0 || o.lanes > 0 || o.vector > 0 {
+		if o.chiplets > 0 {
+			hw.Chiplets = o.chiplets
 		}
-		if cores > 0 {
-			hw.Cores = cores
+		if o.cores > 0 {
+			hw.Cores = o.cores
 		}
-		if lanes > 0 {
-			hw.Lanes = lanes
+		if o.lanes > 0 {
+			hw.Lanes = o.lanes
 		}
-		if vector > 0 {
-			hw.Vector = vector
+		if o.vector > 0 {
+			hw.Vector = o.vector
 		}
 		hw = hardware.Config{Chiplets: hw.Chiplets, Cores: hw.Cores, Lanes: hw.Lanes, Vector: hw.Vector}.
 			WithProportionalMemory(hardware.DefaultProportion())
 	}
-	tool := nnbaton.New()
+	var reg *obs.Registry
+	if o.metrics != "" {
+		reg = obs.NewRegistry()
+		obs.SetDefault(reg) // capture c3p/sim/halo phases too
+		defer func() {
+			if err := reg.WriteFile(o.metrics); err != nil {
+				fmt.Fprintln(os.Stderr, "nnbaton:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "wrote metrics to %s\n", o.metrics)
+			}
+		}()
+	}
+	tool := nnbaton.NewObserved(reg, nil)
 	fmt.Printf("hardware: %s  (chiplet area %.2f mm²)\n\n", hw, tool.ChipletAreaMM2(hw))
-	if withStats {
+	if o.stats {
 		defer func() { fmt.Fprintln(os.Stderr, tool.EngineStats()) }()
 	}
 
-	if layerName != "" {
-		l, err := m.Layer(layerName)
+	if o.layer != "" {
+		l, err := m.Layer(o.layer)
 		if err != nil {
 			return err
 		}
@@ -118,7 +159,7 @@ func run(modelName string, res int, layerName string, withSimba, withTrace, with
 		}
 		fmt.Printf("%v\n  mapping: %s\n  energy:  %s\n  runtime: %s ms\n\n",
 			l, rep.Mapping, rep.Energy, report.MS(rep.Seconds))
-		if withTrace {
+		if o.trace {
 			a, err := c3p.Analyze(l, hw, rep.Strategy)
 			if err != nil {
 				return err
@@ -132,7 +173,7 @@ func run(modelName string, res int, layerName string, withSimba, withTrace, with
 				return err
 			}
 		}
-		if withSimba {
+		if o.simba {
 			sr, err := simba.Evaluate(l, hw, simba.DefaultGrid(hw))
 			if err != nil {
 				return err
@@ -148,11 +189,11 @@ func run(modelName string, res int, layerName string, withSimba, withTrace, with
 	if err != nil {
 		return err
 	}
-	if out != "" {
-		if err := writeStrategy(out, m, hw, rep); err != nil {
+	if o.out != "" {
+		if err := writeStrategy(o.out, m, hw, rep); err != nil {
 			return err
 		}
-		fmt.Printf("wrote mapping strategy to %s\n", out)
+		fmt.Printf("wrote mapping strategy to %s\n", o.out)
 	}
 	t := report.New(fmt.Sprintf("%s @ %dx%d — per-layer optimal mappings", m.Name, m.Resolution, m.Resolution),
 		"layer", "mapping", "energy uJ", "runtime ms")
@@ -167,7 +208,7 @@ func run(modelName string, res int, layerName string, withSimba, withTrace, with
 		fmt.Printf("  (skipped: %s)", strings.Join(rep.Skipped, ","))
 	}
 	fmt.Println()
-	if withSimba {
+	if o.simba {
 		cmp, err := tool.CompareSimba(m, hw)
 		if err != nil {
 			return err

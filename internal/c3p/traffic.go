@@ -3,6 +3,7 @@ package c3p
 import (
 	"nnbaton/internal/hardware"
 	"nnbaton/internal/mapping"
+	"nnbaton/internal/obs"
 	"nnbaton/internal/workload"
 )
 
@@ -89,8 +90,11 @@ func ceilDiv64(a, b int64) int64 {
 	return (a + b - 1) / b
 }
 
-// Analyze validates the mapping and builds its C³P analysis.
+// Analyze validates the mapping and builds its C³P analysis. The access
+// counting is timed under the c3p.analyze phase of the default obs registry
+// when metrics are enabled.
 func Analyze(l workload.Layer, hw hardware.Config, m mapping.Mapping) (*Analysis, error) {
+	defer obs.Time("c3p.analyze")()
 	if err := m.Validate(l, hw); err != nil {
 		return nil, err
 	}

@@ -210,6 +210,7 @@ func GranularitySet(ctx context.Context, models []workload.Model, space Space, t
 
 func granularity(ctx context.Context, models []workload.Model, name string, space Space, totalMACs int,
 	areaLimitMM2 float64, prop hardware.Proportion, eng *engine.Evaluator) (GranularityResult, error) {
+	defer eng.Obs().Span("dse.granularity")()
 	configs := space.ComputeConfigs(totalMACs)
 	if len(configs) == 0 {
 		return GranularityResult{}, fmt.Errorf("dse: no compute allocation reaches %d MACs", totalMACs)

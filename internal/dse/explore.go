@@ -10,6 +10,7 @@ import (
 	"nnbaton/internal/engine"
 	"nnbaton/internal/hardware"
 	"nnbaton/internal/mapper"
+	"nnbaton/internal/obs"
 	"nnbaton/internal/sim"
 	"nnbaton/internal/workload"
 )
@@ -68,6 +69,7 @@ type candidate struct {
 // study on the same evaluator — are never recomputed.
 func Explore(ctx context.Context, model workload.Model, space Space, totalMACs int,
 	areaLimitMM2 float64, eng *engine.Evaluator) (ExploreResult, error) {
+	defer eng.Obs().Span("dse.explore")()
 	computes := space.ComputeConfigs(totalMACs)
 	if len(computes) == 0 {
 		return ExploreResult{}, fmt.Errorf("dse: no compute allocation reaches %d MACs", totalMACs)
@@ -75,12 +77,22 @@ func Explore(ctx context.Context, model workload.Model, space Space, totalMACs i
 	res := ExploreResult{Model: model.Name}
 	var mu sync.Mutex
 
+	// Progress is tracked per compute configuration (the unit of anchor
+	// harvesting); the memory cross-product within each is pure re-pricing.
+	track := obs.NewTracker(eng.ProgressSink(), "explore "+model.Name, len(computes))
 	err := engine.ParallelFor(ctx, len(computes), eng.Workers(), func(ci int) error {
+		stop := eng.Obs().Span("dse.explore_compute")
 		comp := computes[ci]
 		points, swept, err := exploreCompute(ctx, model, space, comp, areaLimitMM2, eng)
+		stop()
 		if err != nil {
 			return err
 		}
+		var ptErr error
+		if len(points) == 0 {
+			ptErr = fmt.Errorf("dse: no valid memory point for %s", comp.Tuple())
+		}
+		track.Done(ptErr)
 		mu.Lock()
 		defer mu.Unlock()
 		res.Swept += swept
@@ -159,7 +171,10 @@ func exploreCompute(ctx context.Context, model workload.Model, space Space, comp
 					hw.OL1Bytes = olPerLane * comp.Lanes
 					hw.AL1Bytes, hw.WL1Bytes, hw.AL2Bytes = al1, wl1, al2
 					hw.OL2Bytes = al2 / 2
-					if pt, ok := priceMemoryPoint(model, hw, pool, areaLimitMM2, eng.CostModel()); ok {
+					stop := eng.Obs().Span("dse.memory_point")
+					pt, ok := priceMemoryPoint(model, hw, pool, areaLimitMM2, eng.CostModel())
+					stop()
+					if ok {
 						points = append(points, pt)
 					}
 				}

@@ -26,10 +26,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"nnbaton/internal/hardware"
 	"nnbaton/internal/mapper"
+	"nnbaton/internal/obs"
 	"nnbaton/internal/workload"
 )
 
@@ -110,10 +110,20 @@ type Evaluator struct {
 	workers int
 	sem     chan struct{} // bounds concurrently *computing* searches
 
+	// reg is the attached metrics registry (nil when observation is
+	// disabled: spans then reduce to a branch and the cache counters to
+	// unregistered atomics). sink receives sweep progress events.
+	reg  *obs.Registry
+	sink obs.ProgressSink
+
 	mu    sync.Mutex
 	cache map[searchKey]*entry
 
-	lookups, searches, hits, coalesced atomic.Int64
+	// Cache counters. Always live (Stats serves the -stats flag with or
+	// without a registry); registered under engine.* when a registry is
+	// attached so they appear in the -metrics dump.
+	lookups, searches, hits, coalesced *obs.Counter
+	cacheEntries                       *obs.Gauge
 }
 
 // New builds an evaluator over a cost model with GOMAXPROCS workers.
@@ -122,15 +132,35 @@ func New(cm *hardware.CostModel) *Evaluator { return NewWithWorkers(cm, 0) }
 // NewWithWorkers builds an evaluator with an explicit compute-concurrency
 // bound (<=0 means GOMAXPROCS).
 func NewWithWorkers(cm *hardware.CostModel, workers int) *Evaluator {
+	return NewObserved(cm, workers, nil, nil)
+}
+
+// NewObserved builds an evaluator wired to a metrics registry and a sweep
+// progress sink. Both may be nil — the disabled fast path, identical in cost
+// to an unobserved evaluator.
+func NewObserved(cm *hardware.CostModel, workers int, reg *obs.Registry, sink obs.ProgressSink) *Evaluator {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Evaluator{
+	e := &Evaluator{
 		cm:      cm,
 		workers: workers,
 		sem:     make(chan struct{}, workers),
+		reg:     reg,
+		sink:    sink,
 		cache:   make(map[searchKey]*entry),
 	}
+	if reg != nil {
+		e.lookups = reg.Counter("engine.lookups")
+		e.searches = reg.Counter("engine.searches")
+		e.hits = reg.Counter("engine.hits")
+		e.coalesced = reg.Counter("engine.coalesced")
+		e.cacheEntries = reg.Gauge("engine.cache_entries")
+	} else {
+		e.lookups, e.searches = &obs.Counter{}, &obs.Counter{}
+		e.hits, e.coalesced = &obs.Counter{}, &obs.Counter{}
+	}
+	return e
 }
 
 // CostModel returns the cost model the evaluator prices with.
@@ -139,13 +169,19 @@ func (e *Evaluator) CostModel() *hardware.CostModel { return e.cm }
 // Workers returns the compute-concurrency bound.
 func (e *Evaluator) Workers() int { return e.workers }
 
+// Obs returns the attached metrics registry (nil when disabled).
+func (e *Evaluator) Obs() *obs.Registry { return e.reg }
+
+// ProgressSink returns the attached sweep progress sink (nil when disabled).
+func (e *Evaluator) ProgressSink() obs.ProgressSink { return e.sink }
+
 // Stats snapshots the cache counters.
 func (e *Evaluator) Stats() Stats {
 	return Stats{
-		Lookups:   e.lookups.Load(),
-		Searches:  e.searches.Load(),
-		Hits:      e.hits.Load(),
-		Coalesced: e.coalesced.Load(),
+		Lookups:   e.lookups.Value(),
+		Searches:  e.searches.Value(),
+		Hits:      e.hits.Value(),
+		Coalesced: e.coalesced.Value(),
 	}
 }
 
@@ -211,12 +247,14 @@ func (e *Evaluator) SearchAll(ctx context.Context, l workload.Layer, hw hardware
 	}
 	en := &entry{done: make(chan struct{})}
 	e.cache[key] = en
+	e.cacheEntries.Set(int64(len(e.cache)))
 	e.mu.Unlock()
 
 	abort := func(err error) ([]mapper.Option, error) {
 		en.err = err
 		e.mu.Lock()
 		delete(e.cache, key)
+		e.cacheEntries.Set(int64(len(e.cache)))
 		e.mu.Unlock()
 		close(en.done)
 		return nil, err
@@ -231,7 +269,9 @@ func (e *Evaluator) SearchAll(ctx context.Context, l workload.Layer, hw hardware
 		return abort(ctx.Err())
 	}
 	e.searches.Add(1)
+	stop := e.reg.Span("engine.search")
 	en.opts = mapper.SearchAll(l, hw, e.cm, cfg)
+	stop()
 	<-e.sem
 	close(en.done)
 	return retag(en.opts, l), nil
@@ -256,6 +296,7 @@ func (e *Evaluator) EvalLayer(ctx context.Context, l workload.Layer, hw hardware
 // order, so the result is bit-identical to the sequential
 // mapper.SearchModel reference path.
 func (e *Evaluator) EvalModel(ctx context.Context, m workload.Model, hw hardware.Config, cfg mapper.Config) (mapper.ModelResult, error) {
+	defer e.reg.Span("engine.eval_model")()
 	found := make([]*mapper.Option, len(m.Layers))
 	err := ParallelFor(ctx, len(m.Layers), e.workers, func(i int) error {
 		o, err := e.EvalLayer(ctx, m.Layers[i], hw, cfg)
@@ -303,15 +344,19 @@ type SweepPoint struct {
 // searches share the cache, so configurations repeating a (shape, hardware)
 // pair never recompute it. A failed point is recorded on its SweepPoint
 // rather than aborting the sweep; only context cancellation returns an
-// error.
+// error. Progress (points done/total, failures, ETA) flows to the attached
+// progress sink, and each point is timed under the engine.sweep_point phase.
 func (e *Evaluator) EvalSweep(ctx context.Context, models []workload.Model, hws []hardware.Config, cfg mapper.Config) ([]SweepPoint, error) {
 	pts := make([]SweepPoint, len(hws))
+	track := obs.NewTracker(e.sink, "sweep", len(hws))
 	err := ParallelFor(ctx, len(hws), e.workers, func(i int) error {
+		stop := e.reg.Span("engine.sweep_point")
 		pt := SweepPoint{HW: hws[i]}
 		for _, m := range models {
 			res, err := e.EvalModel(ctx, m, hws[i], cfg)
 			if err != nil {
 				if ctx.Err() != nil {
+					stop()
 					return ctx.Err()
 				}
 				pt.Err = err
@@ -321,6 +366,8 @@ func (e *Evaluator) EvalSweep(ctx context.Context, models []workload.Model, hws 
 			pt.Results = append(pt.Results, res)
 		}
 		pts[i] = pt
+		stop()
+		track.Done(pt.Err)
 		return nil
 	})
 	if err != nil {

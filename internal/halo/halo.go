@@ -6,6 +6,7 @@ package halo
 
 import (
 	"nnbaton/internal/mapping"
+	"nnbaton/internal/obs"
 	"nnbaton/internal/workload"
 )
 
@@ -150,8 +151,10 @@ type SeriesPoint struct {
 }
 
 // RedundancySeries sweeps tile sizes for one aspect ratio, regenerating one
-// curve of Fig 7.
+// curve of Fig 7. Timed under the halo.redundancy phase of the default obs
+// registry when metrics are enabled.
 func RedundancySeries(l workload.Layer, elems []int, ratioH, ratioW int) []SeriesPoint {
+	defer obs.Time("halo.redundancy")()
 	out := make([]SeriesPoint, 0, len(elems))
 	for _, e := range elems {
 		th, tw := TileDims(l, e, ratioH, ratioW)

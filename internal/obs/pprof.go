@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServePprof starts an HTTP server exposing the net/http/pprof profiling
+// endpoints on addr (e.g. "localhost:6060") and returns the bound address.
+// The server runs on a background goroutine for the life of the process —
+// the -pprof flag of the CLIs, for profiling multi-minute DSE sweeps in
+// place.
+func ServePprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: pprof listen: %w", err)
+	}
+	// A dedicated mux rather than http.DefaultServeMux: importing pprof for
+	// its handlers must not implicitly expose them on any other server the
+	// process might start.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go http.Serve(ln, mux) //nolint:errcheck — dies with the process
+	return ln.Addr().String(), nil
+}

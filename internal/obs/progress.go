@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is one sweep progress event: how far a named stage has advanced,
+// how many points failed, and an ETA extrapolated from the observed rate.
+type Progress struct {
+	Stage   string
+	Done    int
+	Total   int
+	Failed  int
+	Elapsed time.Duration
+	// ETA is the projected remaining time (0 until at least one point is
+	// done).
+	ETA time.Duration
+}
+
+// String renders the event as one status line.
+func (p Progress) String() string {
+	s := fmt.Sprintf("%s: %d/%d", p.Stage, p.Done, p.Total)
+	if p.Failed > 0 {
+		s += fmt.Sprintf(" (%d failed)", p.Failed)
+	}
+	if p.Done < p.Total && p.ETA > 0 {
+		s += fmt.Sprintf(", eta %s", p.ETA.Round(time.Second))
+	}
+	if p.Done >= p.Total {
+		s += fmt.Sprintf(" in %s", p.Elapsed.Round(time.Millisecond))
+	}
+	return s
+}
+
+// ProgressSink receives sweep progress events. Implementations must be safe
+// for concurrent use: trackers emit from whichever sweep worker crosses a
+// reporting threshold.
+type ProgressSink interface {
+	Progress(p Progress)
+}
+
+// WriterSink writes one status line per event to an io.Writer (stderr in the
+// CLIs).
+type WriterSink struct {
+	mu sync.Mutex
+	W  io.Writer
+}
+
+// NewWriterSink wraps w as a ProgressSink.
+func NewWriterSink(w io.Writer) *WriterSink { return &WriterSink{W: w} }
+
+// Progress implements ProgressSink.
+func (s *WriterSink) Progress(p Progress) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintln(s.W, p.String())
+}
+
+// Tracker counts completed points of one sweep stage and emits rate-limited
+// progress events to a sink. A nil *Tracker (the disabled path, returned by
+// NewTracker for a nil sink) discards everything at the cost of one branch.
+type Tracker struct {
+	sink      ProgressSink
+	stage     string
+	total     int
+	start     time.Time
+	done      atomic.Int64
+	failed    atomic.Int64
+	lastEmit  atomic.Int64 // UnixNano of the last emitted event
+	minPeriod time.Duration
+}
+
+// trackerPeriod is the minimum interval between emitted events (the final
+// event always fires).
+const trackerPeriod = 2 * time.Second
+
+// NewTracker starts a progress tracker for a stage of `total` points. With a
+// nil sink it returns nil, and every method on the nil tracker is a no-op.
+func NewTracker(sink ProgressSink, stage string, total int) *Tracker {
+	if sink == nil {
+		return nil
+	}
+	return &Tracker{sink: sink, stage: stage, total: total, start: time.Now(), minPeriod: trackerPeriod}
+}
+
+// Done records one completed point (failed when err != nil) and emits a
+// progress event if the stage finished or the rate limit allows.
+func (t *Tracker) Done(err error) {
+	if t == nil {
+		return
+	}
+	if err != nil {
+		t.failed.Add(1)
+	}
+	done := t.done.Add(1)
+	now := time.Now()
+	if int(done) < t.total {
+		last := t.lastEmit.Load()
+		if now.UnixNano()-last < int64(t.minPeriod) || !t.lastEmit.CompareAndSwap(last, now.UnixNano()) {
+			return
+		}
+	}
+	t.sink.Progress(t.snapshot(int(done), now))
+}
+
+// snapshot assembles the progress event for `done` completed points.
+func (t *Tracker) snapshot(done int, now time.Time) Progress {
+	elapsed := now.Sub(t.start)
+	var eta time.Duration
+	if done > 0 && done < t.total {
+		eta = time.Duration(float64(elapsed) / float64(done) * float64(t.total-done))
+	}
+	return Progress{
+		Stage:   t.stage,
+		Done:    done,
+		Total:   t.total,
+		Failed:  int(t.failed.Load()),
+		Elapsed: elapsed,
+		ETA:     eta,
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"nnbaton/internal/c3p"
 	"nnbaton/internal/hardware"
 	"nnbaton/internal/noc"
+	"nnbaton/internal/obs"
 )
 
 // Result reports the simulated execution of one layer.
@@ -40,8 +41,10 @@ func Simulate(a *c3p.Analysis) (Result, error) {
 
 // SimulateTraffic runs the pipeline model against an explicit traffic record
 // (e.g. one re-evaluated at different buffer sizes by the pre-design memory
-// sweep).
+// sweep). Timed under the sim.pipeline phase of the default obs registry
+// when metrics are enabled.
 func SimulateTraffic(a *c3p.Analysis, tr c3p.Traffic) (Result, error) {
+	defer obs.Time("sim.pipeline")()
 	hw := a.HW
 	ring, err := noc.NewRing(hw.Chiplets)
 	if err != nil {

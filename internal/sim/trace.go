@@ -7,6 +7,7 @@ import (
 	"nnbaton/internal/hardware"
 	"nnbaton/internal/mapping"
 	"nnbaton/internal/noc"
+	"nnbaton/internal/obs"
 	"nnbaton/internal/workload"
 )
 
@@ -136,7 +137,11 @@ func positionsFor(m mapping.Mapping, hop, wop, cop int) []position {
 // models per-chiplet load imbalance (ceilings vs remainders), the
 // alternating load/compute buffer occupancy, and per-round ring rotation.
 // maxEvents caps the retained event log (0 keeps none).
+//
+// Timed under the sim.trace phase of the default obs registry when metrics
+// are enabled.
 func Trace(a *c3p.Analysis, maxEvents int) (TraceResult, error) {
+	defer obs.Time("sim.trace")()
 	hw, l, m := a.HW, a.Layer, a.Map
 	ring, err := noc.NewRing(hw.Chiplets)
 	if err != nil {

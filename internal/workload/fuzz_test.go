@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the model-description parser with arbitrary input. Parse
+// must never panic: every malformed description — including the zero-stride
+// and zero-kernel inputs that once reached an integer divide by zero in
+// OutDim — has to surface as an error. When parsing succeeds, every layer of
+// the resulting model must pass Validate.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// The grammar example from the Parse doc comment.
+		"model tiny 32 3\nconv c1 16 3 1 1\npool 2 2\nconv c2 32 3 1 1\ngpool\nfc head 10\n",
+		// Grouped and depthwise directives.
+		"model g 16 8\nconv grouped 16 3 1 1 4\ndwconv dw 3 1 1\n",
+		// Comments, blank lines and trailing whitespace.
+		"# header\n\nmodel c 64\n  conv c1 8 3 1 1   # inline\npool 3 2 1\n",
+		// Historical crashers: zero stride and zero kernel divided by zero.
+		"model tiny 32 3\nconv c1 16 3 0 1\n",
+		"model tiny 32 3\npool 2 0\n",
+		"model tiny 32 3\nconv c1 16 0 1 1\n",
+		"model tiny 32 3\nconv c1 16 3 1 1\ndwconv dw 3 0 1\n",
+		// Assorted malformed shapes.
+		"conv c1 16 3 1 1\n",
+		"model a 32\nmodel b 32\n",
+		"model a 32\nfrobnicate 1\n",
+		"model a -5\n",
+		"model a 32\nconv c1 16 3 1 1 5\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		for _, l := range m.Layers {
+			if err := l.Validate(); err != nil {
+				t.Errorf("Parse accepted a model with an invalid layer: %v", err)
+			}
+		}
+	})
+}

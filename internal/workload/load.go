@@ -18,19 +18,31 @@ func Load(name string, resolution int) (Model, error) {
 		defer f.Close()
 		return Parse(f)
 	}
+	var m Model
 	switch strings.ReplaceAll(strings.ToLower(name), "-", "") {
 	case "alexnet":
-		return AlexNet(resolution), nil
+		m = AlexNet(resolution)
 	case "vgg16":
-		return VGG16(resolution), nil
+		m = VGG16(resolution)
 	case "resnet50":
-		return ResNet50(resolution), nil
+		m = ResNet50(resolution)
 	case "darknet19":
-		return DarkNet19(resolution), nil
+		m = DarkNet19(resolution)
 	case "mobilenetv2":
-		return MobileNetV2(resolution), nil
+		m = MobileNetV2(resolution)
 	case "yolov2":
-		return YOLOv2(resolution), nil
+		m = YOLOv2(resolution)
+	default:
+		return Model{}, fmt.Errorf("workload: unknown model %q (alexnet|vgg16|resnet50|darknet19|mobilenetv2|yolov2|<file>.txt)", name)
 	}
-	return Model{}, fmt.Errorf("workload: unknown model %q (alexnet|vgg16|resnet50|darknet19|mobilenetv2|yolov2|<file>.txt)", name)
+	// A resolution the network topology cannot support (too small for its
+	// pooling pyramid, or non-positive) produces degenerate layer shapes;
+	// reject it here rather than panicking deep inside the mapper.
+	for _, l := range m.Layers {
+		if err := l.Validate(); err != nil {
+			return Model{}, fmt.Errorf("workload: model %s does not support resolution %d (the paper uses 224 or 512): %w",
+				m.Name, resolution, err)
+		}
+	}
+	return m, nil
 }

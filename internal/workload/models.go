@@ -1,6 +1,9 @@
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Model is an ordered list of layer workloads for one network at one input
 // resolution. Pooling and activation layers carry negligible compute and are
@@ -40,14 +43,25 @@ func (m Model) PeakActivationBytes() int64 {
 	return peak
 }
 
-// Layer returns the named layer, or an error if the model has no such layer.
+// LayerNames returns the layer names in definition order.
+func (m Model) LayerNames() []string {
+	names := make([]string, len(m.Layers))
+	for i, l := range m.Layers {
+		names[i] = l.Name
+	}
+	return names
+}
+
+// Layer returns the named layer, or an error listing the model's valid layer
+// names if there is no such layer.
 func (m Model) Layer(name string) (Layer, error) {
 	for _, l := range m.Layers {
 		if l.Name == name {
 			return l, nil
 		}
 	}
-	return Layer{}, fmt.Errorf("workload: model %s has no layer %q", m.Name, name)
+	return Layer{}, fmt.Errorf("workload: model %s has no layer %q (valid layers: %s)",
+		m.Name, name, strings.Join(m.LayerNames(), ", "))
 }
 
 // builder threads the spatial extent of the feature map through a network

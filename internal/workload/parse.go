@@ -20,6 +20,10 @@ import (
 //	gpool
 //	fc     <name> <out-features>
 //
+// Kernel and stride must be strictly positive (output geometry divides by
+// stride); padding may be zero. Violations are rejected at parse time with a
+// line-numbered error.
+//
 // Example:
 //
 //	model tiny 32 3
@@ -78,6 +82,11 @@ func Parse(r io.Reader) (Model, error) {
 			if err != nil {
 				return fail("conv: %v", err)
 			}
+			// Geometry must be checked before builder.conv calls OutDim,
+			// which divides by the stride.
+			if err := positiveGeometry(vals[1], vals[2]); err != nil {
+				return fail("conv: %v", err)
+			}
 			b.conv(args[0], vals[0], vals[1], vals[2], vals[3])
 			if len(vals) == 5 {
 				last := &b.layers[len(b.layers)-1]
@@ -94,6 +103,9 @@ func Parse(r io.Reader) (Model, error) {
 			if err != nil {
 				return fail("dwconv: %v", err)
 			}
+			if err := positiveGeometry(vals[0], vals[1]); err != nil {
+				return fail("dwconv: %v", err)
+			}
 			b.dwConv(args[0], vals[0], vals[1], vals[2])
 		case "pool":
 			if len(args) < 2 || len(args) > 3 {
@@ -101,6 +113,9 @@ func Parse(r io.Reader) (Model, error) {
 			}
 			vals, err := atoiAll(args)
 			if err != nil {
+				return fail("pool: %v", err)
+			}
+			if err := positiveGeometry(vals[0], vals[1]); err != nil {
 				return fail("pool: %v", err)
 			}
 			pad := 0
@@ -139,6 +154,19 @@ func Parse(r io.Reader) (Model, error) {
 		}
 	}
 	return m, nil
+}
+
+// positiveGeometry rejects non-positive kernel/stride values. OutDim divides
+// by the stride, so a zero here would otherwise panic deep inside the layer
+// builders before Layer.Validate ever runs.
+func positiveGeometry(kernel, stride int) error {
+	if kernel <= 0 {
+		return fmt.Errorf("kernel %d must be positive", kernel)
+	}
+	if stride <= 0 {
+		return fmt.Errorf("stride %d must be positive", stride)
+	}
+	return nil
 }
 
 func atoiPos(s string) (int, error) {

@@ -129,3 +129,69 @@ func TestParseErrors(t *testing.T) {
 		}
 	}
 }
+
+// Regression: zero kernel or stride used to reach OutDim's division (or an
+// empty window) and panic with an integer divide by zero before
+// Layer.Validate ever ran. Parse must reject them with a line-numbered error.
+func TestParseRejectsZeroGeometry(t *testing.T) {
+	cases := []struct {
+		name, src, wantLine string
+	}{
+		{"pool zero stride", "model tiny 32 3\npool 2 0", "line 2"},
+		{"pool zero kernel", "model tiny 32 3\npool 0 2", "line 2"},
+		{"conv zero stride", "model tiny 32 3\nconv c1 16 3 0 1", "line 2"},
+		{"conv zero kernel", "model tiny 32 3\nconv c1 16 0 1 1", "line 2"},
+		{"dwconv zero stride", "model tiny 32 3\nconv c1 16 3 1 1\ndwconv dw 3 0 1", "line 3"},
+		{"dwconv zero kernel", "model tiny 32 3\nconv c1 16 3 1 1\ndwconv dw 0 1 1", "line 3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse panicked: %v", r)
+				}
+			}()
+			_, err := Parse(strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tc.wantLine) {
+				t.Errorf("error %q does not name %s", err, tc.wantLine)
+			}
+			if !strings.Contains(err.Error(), "must be positive") {
+				t.Errorf("error %q does not explain the constraint", err)
+			}
+		})
+	}
+}
+
+func TestLayerLookupListsValidNames(t *testing.T) {
+	m := AlexNet(224)
+	_, err := m.Layer("nope")
+	if err == nil {
+		t.Fatal("expected error for unknown layer")
+	}
+	for _, want := range []string{"nope", "conv1", "conv5", "fc8"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestLoadRejectsUnsupportedResolution(t *testing.T) {
+	for _, res := range []int{0, -224, 2} {
+		_, err := Load("alexnet", res)
+		if err == nil {
+			t.Fatalf("Load(alexnet, %d): expected error", res)
+		}
+		if !strings.Contains(err.Error(), "224 or 512") {
+			t.Errorf("Load(alexnet, %d): error %q does not name supported resolutions", res, err)
+		}
+	}
+	if _, err := Load("alexnet", 224); err != nil {
+		t.Fatalf("Load(alexnet, 224): %v", err)
+	}
+	if _, err := Load("resnet50", 512); err != nil {
+		t.Fatalf("Load(resnet50, 512): %v", err)
+	}
+}
