@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench vet race fuzz check
+.PHONY: build test bench vet race fuzz chaos check
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,13 @@ race:
 # enough to re-find the historical zero-stride crashers, short enough for CI.
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/workload
+
+# chaos runs the fault-injection suite under the race detector: injected
+# panics, deadline overruns, transient errors, mid-sweep cancellations and
+# checkpoint kill/resume round trips against the real evaluation paths
+# (see DESIGN.md "Resilience model").
+chaos:
+	$(GO) test -race -count=1 -run '^TestChaos' ./internal/engine ./internal/dse
 
 # check is the pre-merge gate: static analysis plus the full suite under the
 # race detector (the engine is concurrent; plain `go test` won't catch races).

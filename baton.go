@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"nnbaton/internal/c3p"
+	"nnbaton/internal/ckpt"
 	"nnbaton/internal/dse"
 	"nnbaton/internal/energy"
 	"nnbaton/internal/engine"
@@ -101,9 +102,25 @@ func CaseStudyHardware() Hardware { return hardware.CaseStudy() }
 // TableIISpace returns the full Table II design space.
 func TableIISpace() Space { return dse.TableII() }
 
-// EngineStats is a snapshot of the evaluation engine's search-cache
-// counters (lookups, actual searches, hits, coalesced in-flight waits).
+// EngineStats is a snapshot of the evaluation engine's search-cache and
+// resilience counters (lookups, actual searches, hits, coalesced in-flight
+// waits, recovered panics, retries, timeouts, replayed points).
 type EngineStats = engine.Stats
+
+// EngineConfig is the evaluation engine's concurrency and resilience policy:
+// worker bound, per-point deadline, bounded retry with backoff, observation
+// hooks and the checkpoint journal. The zero value reproduces the default
+// behavior (panic isolation is always on).
+type EngineConfig = engine.Config
+
+// Checkpoint is the crash-safe JSONL journal the pre-design sweeps record
+// completed points to and replay them from (internal/ckpt).
+type Checkpoint = ckpt.Journal
+
+// OpenCheckpoint opens (or creates) a checkpoint journal. With resume set,
+// existing records are loaded and sweeps replay them; without it, the file
+// is truncated for a fresh run.
+func OpenCheckpoint(path string, resume bool) (*Checkpoint, error) { return ckpt.Open(path, resume) }
 
 // Observability re-exports (internal/obs). A nil registry or sink disables
 // the corresponding instrumentation at near-zero cost.
@@ -142,8 +159,15 @@ func New() *Baton {
 // report to the process-wide default registry — install reg there with
 // obs.SetDefault to capture them too, as the CLIs' -metrics flag does.
 func NewObserved(reg *Metrics, sink ProgressSink) *Baton {
+	return NewWithConfig(EngineConfig{Registry: reg, Sink: sink})
+}
+
+// NewWithConfig builds the tool under a full engine policy: worker bound,
+// per-point deadline, bounded retry with backoff, observation hooks and the
+// checkpoint journal (see EngineConfig).
+func NewWithConfig(cfg EngineConfig) *Baton {
 	cm := hardware.MustCostModel()
-	return &Baton{cm: cm, eng: engine.NewObserved(cm, 0, reg, sink)}
+	return &Baton{cm: cm, eng: engine.NewFromConfig(cm, cfg)}
 }
 
 // EngineStats snapshots the shared evaluation engine's cache counters.

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"os"
 
+	"nnbaton/internal/ckpt"
+	"nnbaton/internal/engine"
 	"nnbaton/internal/experiments"
 	"nnbaton/internal/obs"
 )
@@ -23,6 +25,10 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids")
 	metrics := flag.String("metrics", "", "write per-phase timing and engine cache metrics as JSON to this file on exit")
 	progress := flag.Bool("progress", false, "report sweep progress on stderr")
+	timeout := flag.Duration("timeout", 0, "per-point search deadline (e.g. 30s); 0 disables")
+	retries := flag.Int("retries", 0, "max re-attempts after a retryable point failure (panic, deadline, transient)")
+	checkpoint := flag.String("checkpoint", "", "journal completed sweep points to this JSONL file (crash-safe)")
+	resume := flag.Bool("resume", false, "replay points already journaled in the -checkpoint file instead of re-evaluating them")
 	flag.Parse()
 
 	var reg *obs.Registry
@@ -34,8 +40,31 @@ func main() {
 	if *progress {
 		sink = obs.NewWriterSink(os.Stderr)
 	}
-	if reg != nil || sink != nil {
-		experiments.SetObserver(reg, sink)
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -resume requires -checkpoint")
+		os.Exit(1)
+	}
+	var journal *ckpt.Journal
+	if *checkpoint != "" {
+		var err error
+		journal, err = ckpt.Open(*checkpoint, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer journal.Close()
+		if *resume {
+			fmt.Fprintf(os.Stderr, "resuming from %s: %d journaled points\n", *checkpoint, journal.Len())
+		}
+	}
+	if reg != nil || sink != nil || journal != nil || *timeout > 0 || *retries > 0 {
+		experiments.SetEngineConfig(engine.Config{
+			PointTimeout: *timeout,
+			MaxRetries:   *retries,
+			Registry:     reg,
+			Sink:         sink,
+			Journal:      journal,
+		})
 	}
 	if *metrics != "" {
 		defer func() {

@@ -16,6 +16,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"time"
 
 	"nnbaton"
 	"nnbaton/internal/obs"
@@ -25,15 +26,19 @@ import (
 
 // options collects the flag values of one invocation.
 type options struct {
-	model     string
-	res       int
-	macs      int
-	area      float64
-	mode      string
-	stats     bool
-	progress  bool
-	metrics   string
-	pprofAddr string
+	model      string
+	res        int
+	macs       int
+	area       float64
+	mode       string
+	stats      bool
+	progress   bool
+	metrics    string
+	pprofAddr  string
+	timeout    time.Duration
+	retries    int
+	checkpoint string
+	resume     bool
 }
 
 func main() {
@@ -47,6 +52,10 @@ func main() {
 	flag.BoolVar(&o.progress, "progress", false, "report sweep progress (points done/total, failures, ETA) on stderr")
 	flag.StringVar(&o.metrics, "metrics", "", "write per-phase timing and engine cache metrics as JSON to this file on exit")
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	flag.DurationVar(&o.timeout, "timeout", 0, "per-point search deadline (e.g. 30s); 0 disables")
+	flag.IntVar(&o.retries, "retries", 0, "max re-attempts after a retryable point failure (panic, deadline, transient)")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "journal completed sweep points to this JSONL file (crash-safe)")
+	flag.BoolVar(&o.resume, "resume", false, "replay points already journaled in the -checkpoint file instead of re-evaluating them")
 	flag.Parse()
 	// Sweeps can run for minutes; Ctrl-C cancels the evaluation engine's
 	// workers cleanly instead of killing the process mid-write.
@@ -86,7 +95,31 @@ func run(ctx context.Context, o options) error {
 	if o.progress {
 		sink = obs.NewWriterSink(os.Stderr)
 	}
-	tool := nnbaton.NewObserved(reg, sink)
+	if o.resume && o.checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	var journal *nnbaton.Checkpoint
+	if o.checkpoint != "" {
+		journal, err = nnbaton.OpenCheckpoint(o.checkpoint, o.resume)
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		if o.resume {
+			fmt.Fprintf(os.Stderr, "resuming from %s: %d journaled points", o.checkpoint, journal.Len())
+			if t := journal.Torn(); t > 0 {
+				fmt.Fprintf(os.Stderr, " (%d torn/skipped)", t)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+	tool := nnbaton.NewWithConfig(nnbaton.EngineConfig{
+		PointTimeout: o.timeout,
+		MaxRetries:   o.retries,
+		Registry:     reg,
+		Sink:         sink,
+		Journal:      journal,
+	})
 	defer func() {
 		if o.stats {
 			fmt.Fprintln(os.Stderr, tool.EngineStats())
@@ -113,7 +146,10 @@ func cost(ctx context.Context, tool *nnbaton.Baton, m nnbaton.Model, macs int, a
 	}
 	t := report.New(fmt.Sprintf("Manufacturing cost for %s, %d MACs", m.Name, macs),
 		"tuple", "area mm2", "die yield", "silicon $", "assembly $", "total $", "EDP pJ*s")
-	costed := res.WithCosts(nnbaton.DefaultProcess())
+	costed, err := res.WithCosts(nnbaton.DefaultProcess())
+	if err != nil {
+		return err
+	}
 	sort.Slice(costed, func(i, j int) bool { return costed[i].Cost.TotalUSD < costed[j].Cost.TotalUSD })
 	for _, cp := range costed {
 		if cp.MappedLayers == 0 {
@@ -159,8 +195,18 @@ func explore(ctx context.Context, tool *nnbaton.Baton, m nnbaton.Model, macs int
 	if err != nil {
 		return err
 	}
-	fmt.Printf("swept %d points, %d valid, %d on the area/EDP Pareto front\n\n",
+	fmt.Printf("swept %d points, %d valid, %d on the area/EDP Pareto front\n",
 		res.Swept, len(res.Points), len(res.ParetoFront()))
+	if res.Replayed > 0 {
+		fmt.Printf("replayed %d compute configurations from the checkpoint journal\n", res.Replayed)
+	}
+	if len(res.Failed) > 0 {
+		fmt.Printf("%d compute configurations failed:\n", len(res.Failed))
+		for _, f := range res.Failed {
+			fmt.Printf("  %s\n", f)
+		}
+	}
+	fmt.Println()
 	t := report.New("Pareto front (area vs EDP)", "tuple", "memory", "EDP pJ*s", "area mm2")
 	front := res.ParetoFront()
 	sort.Slice(front, func(i, j int) bool { return front[i].ChipletAreaMM2 < front[j].ChipletAreaMM2 })

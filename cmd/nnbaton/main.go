@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"nnbaton"
 	"nnbaton/internal/c3p"
@@ -45,6 +46,8 @@ type options struct {
 	load      string
 	metrics   string
 	pprofAddr string
+	timeout   time.Duration
+	retries   int
 }
 
 func main() {
@@ -63,6 +66,8 @@ func main() {
 	flag.BoolVar(&o.stats, "stats", false, "print engine search-cache statistics (shape deduplication) after mapping")
 	flag.StringVar(&o.metrics, "metrics", "", "write per-phase timing and engine cache metrics as JSON to this file on exit")
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	flag.DurationVar(&o.timeout, "timeout", 0, "per-layer search deadline (e.g. 30s); 0 disables")
+	flag.IntVar(&o.retries, "retries", 0, "max re-attempts after a retryable search failure (panic, deadline, transient)")
 	flag.Parse()
 	if o.pprofAddr != "" {
 		addr, err := obs.ServePprof(o.pprofAddr)
@@ -130,6 +135,9 @@ func run(o options) error {
 		hw = hardware.Config{Chiplets: hw.Chiplets, Cores: hw.Cores, Lanes: hw.Lanes, Vector: hw.Vector}.
 			WithProportionalMemory(hardware.DefaultProportion())
 	}
+	if err := hw.Validate(); err != nil {
+		return err
+	}
 	var reg *obs.Registry
 	if o.metrics != "" {
 		reg = obs.NewRegistry()
@@ -142,7 +150,11 @@ func run(o options) error {
 			}
 		}()
 	}
-	tool := nnbaton.NewObserved(reg, nil)
+	tool := nnbaton.NewWithConfig(nnbaton.EngineConfig{
+		PointTimeout: o.timeout,
+		MaxRetries:   o.retries,
+		Registry:     reg,
+	})
 	fmt.Printf("hardware: %s  (chiplet area %.2f mm²)\n\n", hw, tool.ChipletAreaMM2(hw))
 	if o.stats {
 		defer func() { fmt.Fprintln(os.Stderr, tool.EngineStats()) }()

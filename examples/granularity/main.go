@@ -58,7 +58,10 @@ func main() {
 	// Manufacturing-cost extension: the same study priced under a 16nm-class
 	// process, showing the cost side of the granularity trade-off.
 	fmt.Println("\nmanufacturing cost per package (Murphy yield + MCM assembly):")
-	costed := res.WithCosts(nnbaton.DefaultProcess())
+	costed, err := res.WithCosts(nnbaton.DefaultProcess())
+	if err != nil {
+		log.Fatal(err)
+	}
 	cheapest := map[int]nnbaton.CostedPoint{}
 	for _, cp := range costed {
 		np := cp.HW.Chiplets

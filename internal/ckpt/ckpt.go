@@ -1,0 +1,202 @@
+// Package ckpt is the crash-safe checkpoint journal of the DSE sweeps: an
+// append-only JSONL file of keyed records, one per completed sweep point.
+// Long explorations (the Fig 15 pre-design sweep crosses every compute
+// allocation with every Table II memory combination over whole model zoos)
+// journal each point as it completes; after a crash or kill, reopening the
+// journal in resume mode replays the completed points and only the remainder
+// is re-evaluated.
+//
+// Crash safety relies on the append discipline: every record is marshaled
+// first and written with a single Write call on an O_APPEND descriptor,
+// followed by an fsync, so the file only ever grows by whole records plus at
+// most one torn tail. The loader tolerates exactly that — a malformed final
+// line is counted and skipped, never trusted.
+package ckpt
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// record is the wire format of one journal line.
+type record struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// Journal is an append-only keyed JSONL checkpoint file. All methods are
+// safe for concurrent use and safe on a nil receiver (the disabled path:
+// Lookup misses, Append discards).
+type Journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	seen     map[string]json.RawMessage
+	appended int
+	torn     int
+}
+
+// Open opens (or creates) the journal at path. With resume set, existing
+// records are loaded and served by Lookup; without it, an existing file is
+// truncated — a fresh sweep must not replay stale points. The torn tail of a
+// crashed run (a final line without a newline, or undecodable) is skipped.
+func Open(path string, resume bool) (*Journal, error) {
+	flags := os.O_CREATE | os.O_RDWR | os.O_APPEND
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	j := &Journal{f: f, path: path, seen: make(map[string]json.RawMessage)}
+	if resume {
+		if err := j.load(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// load parses the existing journal records. Later records for a key win, so
+// a re-evaluated point supersedes its earlier journal entry.
+func (j *Journal) load() error {
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	data, err := io.ReadAll(j.f)
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	total := int64(len(data))
+	for len(data) > 0 {
+		line := data
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			// No trailing newline: a torn tail from a crash mid-append. Drop
+			// it from the file too — a subsequent append must start on a
+			// fresh line, not concatenate onto the torn bytes.
+			j.torn++
+			if err := j.f.Truncate(total - int64(len(data))); err != nil {
+				return fmt.Errorf("ckpt: truncate torn tail: %w", err)
+			}
+			break
+		}
+		line, data = data[:nl], data[nl+1:]
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
+			j.torn++
+			continue
+		}
+		j.seen[rec.Key] = rec.Value
+	}
+	return nil
+}
+
+// Lookup returns the journaled value for a key, if any. Nil-safe.
+func (j *Journal) Lookup(key string) (json.RawMessage, bool) {
+	if j == nil {
+		return nil, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v, ok := j.seen[key]
+	return v, ok
+}
+
+// Append journals one completed point: the record is marshaled whole and
+// written atomically (one Write on an O_APPEND descriptor) then fsynced.
+// Nil-safe no-op.
+func (j *Journal) Append(key string, v any) error {
+	if j == nil {
+		return nil
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("ckpt: marshal %q: %w", key, err)
+	}
+	line, err := json.Marshal(record{Key: key, Value: raw})
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("ckpt: journal %s is closed", j.path)
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("ckpt: append %q: %w", key, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("ckpt: sync %q: %w", key, err)
+	}
+	j.seen[key] = raw
+	j.appended++
+	return nil
+}
+
+// Len returns the number of distinct keys known to the journal (loaded plus
+// appended). Nil-safe.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.seen)
+}
+
+// Appended returns how many records this process wrote. Nil-safe.
+func (j *Journal) Appended() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appended
+}
+
+// Torn returns how many malformed lines the loader skipped. Nil-safe.
+func (j *Journal) Torn() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.torn
+}
+
+// Path returns the journal file path ("" on a nil journal).
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Close flushes and closes the journal file. Nil-safe.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package ckpt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type val struct {
+	N int    `json:"n"`
+	S string `json:"s"`
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("a", val{N: 1, S: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("b", val{N: 2, S: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Appended() != 2 || j.Len() != 2 {
+		t.Fatalf("appended=%d len=%d", j.Appended(), j.Len())
+	}
+	// Same-process lookup serves appended records.
+	raw, ok := j.Lookup("a")
+	if !ok || string(raw) != `{"n":1,"s":"x"}` {
+		t.Fatalf("lookup a: ok=%v raw=%s", ok, raw)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("c", val{}); err == nil {
+		t.Error("append after close must error")
+	}
+
+	// Reopen in resume mode: both records load.
+	j2, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 2 || j2.Torn() != 0 {
+		t.Fatalf("resume: len=%d torn=%d", j2.Len(), j2.Torn())
+	}
+	if _, ok := j2.Lookup("b"); !ok {
+		t.Error("record b lost across reopen")
+	}
+}
+
+func TestJournalFreshOpenTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, _ := Open(path, false)
+	j.Append("a", val{N: 1})
+	j.Close()
+	j2, err := Open(path, false) // fresh run: stale records must not replay
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if _, ok := j2.Lookup("a"); ok || j2.Len() != 0 {
+		t.Error("fresh open must truncate stale records")
+	}
+}
+
+func TestJournalTornTailSkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, _ := Open(path, false)
+	j.Append("a", val{N: 1})
+	j.Append("b", val{N: 2})
+	j.Close()
+	// Simulate a crash mid-append: chop bytes off the final line.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 1 || j2.Torn() != 1 {
+		t.Fatalf("after torn tail: len=%d torn=%d, want 1 and 1", j2.Len(), j2.Torn())
+	}
+	if _, ok := j2.Lookup("a"); !ok {
+		t.Error("intact record lost")
+	}
+	if _, ok := j2.Lookup("b"); ok {
+		t.Error("torn record must not be trusted")
+	}
+	// The journal stays appendable after a torn load: the re-evaluated point
+	// re-journals, and the later record wins on the next load.
+	if err := j2.Append("b", val{N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	raw, ok := j3.Lookup("b")
+	if !ok || string(raw) != `{"n":3,"s":""}` {
+		t.Fatalf("later record must win: ok=%v raw=%s", ok, raw)
+	}
+}
+
+func TestJournalLaterRecordWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, _ := Open(path, false)
+	j.Append("k", val{N: 1})
+	j.Append("k", val{N: 2})
+	j.Close()
+	j2, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	raw, _ := j2.Lookup("k")
+	if string(raw) != `{"n":2,"s":""}` {
+		t.Fatalf("raw = %s, want the later record", raw)
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	if err := j.Append("k", val{}); err != nil {
+		t.Error(err)
+	}
+	if _, ok := j.Lookup("k"); ok {
+		t.Error("nil journal must miss")
+	}
+	if j.Len() != 0 || j.Appended() != 0 || j.Torn() != 0 || j.Path() != "" {
+		t.Error("nil journal accessors must zero")
+	}
+	if err := j.Close(); err != nil {
+		t.Error(err)
+	}
+}

@@ -124,7 +124,9 @@ func (p Point) String() string {
 
 // pointOf aggregates one engine sweep point into a design point. A failed
 // evaluation is retained with zero layers and the failure reason so the
-// study can report it as infeasible.
+// study can report it as infeasible. Aggregation reads the compact Evals
+// (not the full Results), so a point replayed from a checkpoint journal
+// produces the identical design point as a live evaluation.
 func pointOf(sp engine.SweepPoint, cm *hardware.CostModel, areaLimitMM2 float64) Point {
 	pt := Point{HW: sp.HW, ChipletAreaMM2: cm.ChipletAreaMM2(sp.HW)}
 	pt.MeetsArea = areaLimitMM2 <= 0 || pt.ChipletAreaMM2 <= areaLimitMM2
@@ -132,11 +134,11 @@ func pointOf(sp engine.SweepPoint, cm *hardware.CostModel, areaLimitMM2 float64)
 		pt.Err = sp.Err.Error()
 		return pt
 	}
-	for _, res := range sp.Results {
-		pt.Energy = pt.Energy.Add(res.Energy)
-		pt.Seconds += hardware.Seconds(res.Cycles)
-		pt.MappedLayers += len(res.Layers)
-		pt.SkippedLayers += len(res.Skipped)
+	for _, ev := range sp.Evals {
+		pt.Energy = pt.Energy.Add(ev.Energy)
+		pt.Seconds += hardware.Seconds(ev.Cycles)
+		pt.MappedLayers += ev.Mapped
+		pt.SkippedLayers += len(ev.Skipped)
 	}
 	return pt
 }
@@ -239,9 +241,14 @@ type CostedPoint struct {
 // WithCosts prices every point of a granularity study under a fabrication
 // process, quantifying the cost side of the chiplet trade-off ("employing
 // the chiplet-based solution sacrifices the performance and energy cost but
-// obtains lower cost", §VI-B1). Points whose dies cannot be fabricated are
-// skipped.
-func (g GranularityResult) WithCosts(p fab.Process) []CostedPoint {
+// obtains lower cost", §VI-B1). The process is validated up front — a
+// malformed process (non-positive wafer, NaN cost parameters) is an error,
+// not a silently empty price list. Points whose dies cannot be fabricated
+// are skipped.
+func (g GranularityResult) WithCosts(p fab.Process) ([]CostedPoint, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("dse: invalid process: %w", err)
+	}
 	out := make([]CostedPoint, 0, len(g.Points))
 	for _, pt := range g.Points {
 		c, err := p.PackageCost(pt.HW.Chiplets, pt.ChipletAreaMM2)
@@ -250,5 +257,5 @@ func (g GranularityResult) WithCosts(p fab.Process) []CostedPoint {
 		}
 		out = append(out, CostedPoint{Point: pt, Cost: c})
 	}
-	return out
+	return out, nil
 }

@@ -268,9 +268,17 @@ func TestWithCosts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	costed := res.WithCosts(fab.TSMC16Like())
+	costed, err := res.WithCosts(fab.TSMC16Like())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(costed) == 0 {
 		t.Fatal("no costed points")
+	}
+	bad := fab.TSMC16Like()
+	bad.WaferDiameterMM = -1
+	if _, err := res.WithCosts(bad); err == nil {
+		t.Error("expected invalid-process error")
 	}
 	for _, cp := range costed {
 		if cp.Cost.TotalUSD <= 0 || cp.Cost.Chiplets != cp.HW.Chiplets {

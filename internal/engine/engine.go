@@ -19,14 +19,29 @@
 // *computing* searches, so nested fan-out (a hardware sweep over models over
 // layers) never oversubscribes the machine and a cancelled context unwinds
 // the whole tree.
+//
+// The engine is also the evaluation stack's resilience boundary (see
+// Config): search leaders and sweep points run under panic isolation — a
+// panicking search becomes a structured PanicError on its point, with the
+// singleflight entry closed and evicted so waiters never hang — attempts are
+// bounded by per-point deadlines with retry-and-backoff, and completed sweep
+// points journal to a checkpoint (internal/ckpt) that a restarted sweep
+// replays instead of re-evaluating.
 package engine
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"sync"
+	"time"
 
+	"nnbaton/internal/energy"
+	"nnbaton/internal/faults"
 	"nnbaton/internal/hardware"
 	"nnbaton/internal/mapper"
 	"nnbaton/internal/obs"
@@ -71,24 +86,35 @@ type searchKey struct {
 }
 
 // entry is one cache slot. The leader that created it computes the search,
-// stores opts and closes done; waiters block on done (or their context).
+// stores opts (or err) and closes done; waiters block on done (or their
+// context). A *leaderCancelled err means the entry was evicted and waiters
+// should re-elect a leader; any other err is terminal for waiters.
 type entry struct {
 	done chan struct{}
 	opts []mapper.Option
-	err  error // only set when the leader was cancelled before computing
+	err  error
 }
 
-// Stats is a snapshot of the engine's cache counters.
+// Stats is a snapshot of the engine's cache and resilience counters.
 type Stats struct {
 	// Lookups counts SearchAll requests.
 	Lookups int64
-	// Searches counts actual mapper.SearchAll invocations (cache misses).
+	// Searches counts actual search attempts (cache misses, including
+	// retried attempts).
 	Searches int64
 	// Hits counts requests served from a completed cache entry.
 	Hits int64
 	// Coalesced counts requests that waited on an in-flight identical
 	// search instead of recomputing it (singleflight deduplication).
 	Coalesced int64
+	// Panics counts panics recovered at the engine's isolation boundaries.
+	Panics int64
+	// Retries counts re-attempts after retryable failures.
+	Retries int64
+	// Timeouts counts search attempts abandoned at the point deadline.
+	Timeouts int64
+	// Replayed counts sweep points served from the checkpoint journal.
+	Replayed int64
 }
 
 // String renders the counters with the effective deduplication factor.
@@ -97,18 +123,24 @@ func (s Stats) String() string {
 	if s.Searches > 0 {
 		dedup = float64(s.Lookups) / float64(s.Searches)
 	}
-	return fmt.Sprintf("engine: %d lookups, %d searches, %d hits, %d coalesced (%.1fx dedup)",
+	out := fmt.Sprintf("engine: %d lookups, %d searches, %d hits, %d coalesced (%.1fx dedup)",
 		s.Lookups, s.Searches, s.Hits, s.Coalesced, dedup)
+	if s.Panics > 0 || s.Retries > 0 || s.Timeouts > 0 || s.Replayed > 0 {
+		out += fmt.Sprintf("; resilience: %d panics, %d retries, %d timeouts, %d replayed",
+			s.Panics, s.Retries, s.Timeouts, s.Replayed)
+	}
+	return out
 }
 
 // Evaluator is the concurrent evaluation core: a memoized layer-search cache
-// plus the bounded worker discipline. One Evaluator is intended to live as
-// long as its cost model — the Baton façade keeps one for its lifetime, so
-// the cache persists across MapModel, Granularity and Explore calls.
+// plus the bounded worker discipline and the resilience policy of its
+// Config. One Evaluator is intended to live as long as its cost model — the
+// Baton façade keeps one for its lifetime, so the cache persists across
+// MapModel, Granularity and Explore calls.
 type Evaluator struct {
-	cm      *hardware.CostModel
-	workers int
-	sem     chan struct{} // bounds concurrently *computing* searches
+	cm  *hardware.CostModel
+	cfg Config
+	sem chan struct{} // bounds concurrently *computing* searches
 
 	// reg is the attached metrics registry (nil when observation is
 	// disabled: spans then reduce to a branch and the cache counters to
@@ -119,46 +151,60 @@ type Evaluator struct {
 	mu    sync.Mutex
 	cache map[searchKey]*entry
 
-	// Cache counters. Always live (Stats serves the -stats flag with or
-	// without a registry); registered under engine.* when a registry is
-	// attached so they appear in the -metrics dump.
+	// Cache and resilience counters. Always live (Stats serves the -stats
+	// flag with or without a registry); registered under engine.* when a
+	// registry is attached so they appear in the -metrics dump.
 	lookups, searches, hits, coalesced *obs.Counter
+	panics, retries, timeouts          *obs.Counter
+	replayed                           *obs.Counter
 	cacheEntries                       *obs.Gauge
 }
 
 // New builds an evaluator over a cost model with GOMAXPROCS workers.
-func New(cm *hardware.CostModel) *Evaluator { return NewWithWorkers(cm, 0) }
+func New(cm *hardware.CostModel) *Evaluator { return NewFromConfig(cm, Config{}) }
 
 // NewWithWorkers builds an evaluator with an explicit compute-concurrency
 // bound (<=0 means GOMAXPROCS).
 func NewWithWorkers(cm *hardware.CostModel, workers int) *Evaluator {
-	return NewObserved(cm, workers, nil, nil)
+	return NewFromConfig(cm, Config{Workers: workers})
 }
 
 // NewObserved builds an evaluator wired to a metrics registry and a sweep
 // progress sink. Both may be nil — the disabled fast path, identical in cost
 // to an unobserved evaluator.
 func NewObserved(cm *hardware.CostModel, workers int, reg *obs.Registry, sink obs.ProgressSink) *Evaluator {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	return NewFromConfig(cm, Config{Workers: workers, Registry: reg, Sink: sink})
+}
+
+// NewFromConfig builds an evaluator under a full concurrency/resilience
+// policy (see Config; the zero value is the historical default behavior).
+func NewFromConfig(cm *hardware.CostModel, cfg Config) *Evaluator {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	e := &Evaluator{
-		cm:      cm,
-		workers: workers,
-		sem:     make(chan struct{}, workers),
-		reg:     reg,
-		sink:    sink,
-		cache:   make(map[searchKey]*entry),
+		cm:    cm,
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.Workers),
+		reg:   cfg.Registry,
+		sink:  cfg.Sink,
+		cache: make(map[searchKey]*entry),
 	}
-	if reg != nil {
+	if reg := cfg.Registry; reg != nil {
 		e.lookups = reg.Counter("engine.lookups")
 		e.searches = reg.Counter("engine.searches")
 		e.hits = reg.Counter("engine.hits")
 		e.coalesced = reg.Counter("engine.coalesced")
+		e.panics = reg.Counter("engine.panics")
+		e.retries = reg.Counter("engine.retries")
+		e.timeouts = reg.Counter("engine.timeouts")
+		e.replayed = reg.Counter("engine.replayed_points")
 		e.cacheEntries = reg.Gauge("engine.cache_entries")
 	} else {
 		e.lookups, e.searches = &obs.Counter{}, &obs.Counter{}
 		e.hits, e.coalesced = &obs.Counter{}, &obs.Counter{}
+		e.panics, e.retries = &obs.Counter{}, &obs.Counter{}
+		e.timeouts, e.replayed = &obs.Counter{}, &obs.Counter{}
 	}
 	return e
 }
@@ -167,7 +213,10 @@ func NewObserved(cm *hardware.CostModel, workers int, reg *obs.Registry, sink ob
 func (e *Evaluator) CostModel() *hardware.CostModel { return e.cm }
 
 // Workers returns the compute-concurrency bound.
-func (e *Evaluator) Workers() int { return e.workers }
+func (e *Evaluator) Workers() int { return e.cfg.Workers }
+
+// Config returns the evaluator's concurrency/resilience policy.
+func (e *Evaluator) Config() Config { return e.cfg }
 
 // Obs returns the attached metrics registry (nil when disabled).
 func (e *Evaluator) Obs() *obs.Registry { return e.reg }
@@ -175,14 +224,25 @@ func (e *Evaluator) Obs() *obs.Registry { return e.reg }
 // ProgressSink returns the attached sweep progress sink (nil when disabled).
 func (e *Evaluator) ProgressSink() obs.ProgressSink { return e.sink }
 
-// Stats snapshots the cache counters.
+// Stats snapshots the cache and resilience counters.
 func (e *Evaluator) Stats() Stats {
 	return Stats{
 		Lookups:   e.lookups.Value(),
 		Searches:  e.searches.Value(),
 		Hits:      e.hits.Value(),
 		Coalesced: e.coalesced.Value(),
+		Panics:    e.panics.Value(),
+		Retries:   e.retries.Value(),
+		Timeouts:  e.timeouts.Value(),
+		Replayed:  e.replayed.Value(),
 	}
+}
+
+// recordPanic counts a recovered panic and preserves its value and stack in
+// the registry's event ring for the -metrics dump.
+func (e *Evaluator) recordPanic(pe *PanicError) {
+	e.panics.Add(1)
+	e.reg.Event("panic."+pe.Site, fmt.Sprintf("%s: %v\n%s", pe.Op, pe.Value, pe.Stack))
 }
 
 // normalize folds the SearchAll KeepTop default into the cache key so
@@ -208,15 +268,16 @@ func retag(opts []mapper.Option, l workload.Layer) []mapper.Option {
 	return out
 }
 
-// SearchAll is the memoized mapper.SearchAll: the first request for a
-// (shape, hardware, config) key computes the exhaustive search under the
-// worker semaphore; concurrent identical requests coalesce onto that
-// computation, and later requests are served from the cache. Returned
+// SearchAll is the memoized, panic-isolated mapper.SearchAll: the first
+// request for a (shape, hardware, config) key computes the exhaustive search
+// under the worker semaphore; concurrent identical requests coalesce onto
+// that computation, and later requests are served from the cache. Returned
 // options carry the identity of the requested layer.
+//
+// A panicking or overrunning search never strands its waiters: the leader
+// converts the failure to an error, closes and evicts the entry, and retries
+// under the Config policy before failing everyone terminally.
 func (e *Evaluator) SearchAll(ctx context.Context, l workload.Layer, hw hardware.Config, cfg mapper.Config) ([]mapper.Option, error) {
-	// Check up front: a select between a free semaphore slot and a closed
-	// Done channel picks either arm, so without this a cancelled request
-	// could still start an expensive search.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -224,8 +285,16 @@ func (e *Evaluator) SearchAll(ctx context.Context, l workload.Layer, hw hardware
 	key := searchKey{shape: ShapeOf(l), hw: HWOf(hw), cfg: cfg}
 	e.lookups.Add(1)
 
-	e.mu.Lock()
-	if en, ok := e.cache[key]; ok {
+	for {
+		e.mu.Lock()
+		en, ok := e.cache[key]
+		if !ok {
+			en = &entry{done: make(chan struct{})}
+			e.cache[key] = en
+			e.cacheEntries.Set(int64(len(e.cache)))
+			e.mu.Unlock()
+			return e.lead(ctx, en, key, l, hw, cfg)
+		}
 		e.mu.Unlock()
 		select {
 		case <-en.done:
@@ -238,47 +307,141 @@ func (e *Evaluator) SearchAll(ctx context.Context, l workload.Layer, hw hardware
 				return nil, ctx.Err()
 			}
 		}
-		if en.err != nil {
-			// The leader was cancelled before computing; its entry has been
-			// removed, so retry (the caller may still have a live context).
-			return e.SearchAll(ctx, l, hw, cfg)
+		if en.err == nil {
+			return retag(en.opts, l), nil
 		}
-		return retag(en.opts, l), nil
+		var lc *leaderCancelled
+		if errors.As(en.err, &lc) {
+			// The leader's context ended before computing; its entry has
+			// been evicted. Re-elect a leader if our context is still live.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// Terminal failure (panic, exhausted retries): shared with every
+		// waiter; the entry was evicted so a later request re-attempts.
+		return nil, en.err
 	}
-	en := &entry{done: make(chan struct{})}
-	e.cache[key] = en
-	e.cacheEntries.Set(int64(len(e.cache)))
-	e.mu.Unlock()
+}
 
-	abort := func(err error) ([]mapper.Option, error) {
+// lead computes the search for a freshly-created cache entry, applying the
+// retry policy, and publishes the result (or terminal error) to waiters.
+func (e *Evaluator) lead(ctx context.Context, en *entry, key searchKey, l workload.Layer, hw hardware.Config, cfg mapper.Config) ([]mapper.Option, error) {
+	op := l.Name + " on " + hw.String()
+	finish := func(opts []mapper.Option, err error) ([]mapper.Option, error) {
+		if err == nil {
+			en.opts = opts
+			close(en.done)
+			return retag(opts, l), nil
+		}
 		en.err = err
 		e.mu.Lock()
 		delete(e.cache, key)
 		e.cacheEntries.Set(int64(len(e.cache)))
 		e.mu.Unlock()
 		close(en.done)
+		var lc *leaderCancelled
+		if errors.As(err, &lc) {
+			return nil, lc.cause
+		}
 		return nil, err
 	}
-	select {
-	case e.sem <- struct{}{}:
-		if err := ctx.Err(); err != nil {
-			<-e.sem
-			return abort(err)
+
+	for attempt := 0; ; attempt++ {
+		opts, err := e.searchAttempt(ctx, l, hw, cfg, op)
+		if err == nil {
+			return finish(opts, nil)
 		}
-	case <-ctx.Done():
-		return abort(ctx.Err())
+		if ctx.Err() != nil {
+			// Our own context ended (possibly mid-attempt): waiters with
+			// live contexts re-elect a leader.
+			var lc *leaderCancelled
+			if !errors.As(err, &lc) {
+				err = &leaderCancelled{cause: ctx.Err()}
+			}
+			return finish(nil, err)
+		}
+		if !IsRetryable(err) || attempt >= e.cfg.MaxRetries {
+			return finish(nil, err)
+		}
+		e.retries.Add(1)
+		if serr := sleepCtx(ctx, e.cfg.backoff(attempt)); serr != nil {
+			return finish(nil, &leaderCancelled{cause: serr})
+		}
 	}
-	e.searches.Add(1)
-	stop := e.reg.Span("engine.search")
-	en.opts = mapper.SearchAll(l, hw, e.cm, cfg)
-	stop()
-	<-e.sem
-	close(en.done)
-	return retag(en.opts, l), nil
 }
 
+// searchAttempt runs one search attempt on its own goroutine under one
+// worker slot, bounded by the point deadline. The slot is released by the
+// attempt goroutine when the search actually returns, so an abandoned
+// (timed-out) attempt cannot oversubscribe the machine; the caller degrades
+// immediately either way.
+func (e *Evaluator) searchAttempt(ctx context.Context, l workload.Layer, hw hardware.Config, cfg mapper.Config, op string) ([]mapper.Option, error) {
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, &leaderCancelled{cause: ctx.Err()}
+	}
+	if err := ctx.Err(); err != nil {
+		// A select between a free slot and a closed Done channel picks
+		// either arm; without this a cancelled request could still start an
+		// expensive search.
+		<-e.sem
+		return nil, &leaderCancelled{cause: err}
+	}
+	e.searches.Add(1)
+
+	type outcome struct {
+		opts []mapper.Option
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() { <-e.sem }()
+		defer func() {
+			if r := recover(); r != nil {
+				pe := &PanicError{Site: "engine.search", Op: op, Value: r, Stack: debug.Stack()}
+				e.recordPanic(pe)
+				ch <- outcome{err: pe}
+			}
+		}()
+		if err := faults.InjectContext(ctx, "engine.search", op); err != nil {
+			ch <- outcome{err: err}
+			return
+		}
+		stop := e.reg.Span("engine.search")
+		opts := mapper.SearchAll(l, hw, e.cm, cfg)
+		stop()
+		ch <- outcome{opts: opts}
+	}()
+
+	var deadline <-chan time.Time
+	if e.cfg.PointTimeout > 0 {
+		t := time.NewTimer(e.cfg.PointTimeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case o := <-ch:
+		return o.opts, o.err
+	case <-deadline:
+		e.timeouts.Add(1)
+		return nil, fmt.Errorf("engine: search of %s exceeded the %v point deadline (computation abandoned): %w",
+			op, e.cfg.PointTimeout, context.DeadlineExceeded)
+	case <-ctx.Done():
+		return nil, &leaderCancelled{cause: ctx.Err()}
+	}
+}
+
+// ErrUnmappable marks a layer with no valid mapping on a configuration — a
+// deterministic property of the (shape, hardware) pair, not a fault: model
+// evaluation skips such layers where a search failure fails the point.
+var ErrUnmappable = errors.New("no valid mapping")
+
 // EvalLayer returns the optimal mapping option for one layer, served from
-// the cache when the shape has been searched before.
+// the cache when the shape has been searched before. A layer with no valid
+// mapping returns an error wrapping ErrUnmappable.
 func (e *Evaluator) EvalLayer(ctx context.Context, l workload.Layer, hw hardware.Config, cfg mapper.Config) (mapper.Option, error) {
 	cfg.KeepTop = 1
 	opts, err := e.SearchAll(ctx, l, hw, cfg)
@@ -286,7 +449,7 @@ func (e *Evaluator) EvalLayer(ctx context.Context, l workload.Layer, hw hardware
 		return mapper.Option{}, err
 	}
 	if len(opts) == 0 {
-		return mapper.Option{}, fmt.Errorf("engine: no valid mapping for %s on %s", l.String(), hw.Tuple())
+		return mapper.Option{}, fmt.Errorf("engine: %w for %s on %s", ErrUnmappable, l.String(), hw.Tuple())
 	}
 	return opts[0], nil
 }
@@ -294,17 +457,21 @@ func (e *Evaluator) EvalLayer(ctx context.Context, l workload.Layer, hw hardware
 // EvalModel maps every layer of a model with the per-layer optimal strategy,
 // searching the layers in parallel. Aggregation runs sequentially in layer
 // order, so the result is bit-identical to the sequential
-// mapper.SearchModel reference path.
+// mapper.SearchModel reference path. Unmappable layers are recorded as
+// skipped; a search fault (panic, exhausted retries) fails the evaluation.
 func (e *Evaluator) EvalModel(ctx context.Context, m workload.Model, hw hardware.Config, cfg mapper.Config) (mapper.ModelResult, error) {
 	defer e.reg.Span("engine.eval_model")()
 	found := make([]*mapper.Option, len(m.Layers))
-	err := ParallelFor(ctx, len(m.Layers), e.workers, func(i int) error {
+	err := ParallelFor(ctx, len(m.Layers), e.cfg.Workers, func(i int) error {
 		o, err := e.EvalLayer(ctx, m.Layers[i], hw, cfg)
 		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			return nil // unmappable layer: recorded as skipped below
+			if errors.Is(err, ErrUnmappable) {
+				return nil // recorded as skipped below
+			}
+			return err // search fault: degrade the whole evaluation
 		}
 		found[i] = &o
 		return nil
@@ -328,45 +495,125 @@ func (e *Evaluator) EvalModel(ctx context.Context, m workload.Model, hw hardware
 	return res, nil
 }
 
+// ModelEval is the compact aggregate of one model's evaluation on one
+// configuration — the JSON-stable unit the checkpoint journal stores and
+// downstream consumers (dse.Point aggregation) read, whether the point was
+// evaluated live or replayed.
+type ModelEval struct {
+	Model   string           `json:"model"`
+	Energy  energy.Breakdown `json:"energy"`
+	Cycles  int64            `json:"cycles"`
+	Mapped  int              `json:"mapped"`
+	Skipped []string         `json:"skipped,omitempty"`
+}
+
 // SweepPoint is the evaluation of a model set on one hardware configuration.
 type SweepPoint struct {
 	HW hardware.Config
-	// Results holds one ModelResult per input model, in order. Empty when
-	// Err is set.
+	// Evals holds the compact per-model aggregates, in model order — always
+	// populated for successful points, including ones replayed from a
+	// checkpoint journal.
+	Evals []ModelEval
+	// Results holds the full per-layer results per input model, in order.
+	// Nil when the point failed or was replayed from a checkpoint.
 	Results []mapper.ModelResult
-	// Err records why the point could not be evaluated (e.g. no layer of
-	// some model maps onto the configuration).
+	// Err records why the point could not be evaluated (an unmappable model,
+	// an invalid configuration, or a structured PanicError from an isolated
+	// search/point panic).
 	Err error
+	// Replayed marks a point served from the checkpoint journal.
+	Replayed bool
+	// Attempts counts evaluation attempts (1 without retries).
+	Attempts int
+}
+
+// sweepRecord is the checkpoint-journal form of one sweep point.
+type sweepRecord struct {
+	HW       hardware.Config `json:"hw"`
+	Evals    []ModelEval     `json:"evals,omitempty"`
+	Err      string          `json:"err,omitempty"`
+	Attempts int             `json:"attempts,omitempty"`
+}
+
+// modelsSig identifies a model set for checkpoint keying.
+func modelsSig(models []workload.Model) string {
+	parts := make([]string, len(models))
+	for i, m := range models {
+		parts[i] = fmt.Sprintf("%s@%d/%d", m.Name, m.Resolution, len(m.Layers))
+	}
+	return strings.Join(parts, "+")
+}
+
+// sweepPointKey is the checkpoint key of one sweep point: the model set, the
+// search configuration and the full hardware configuration, so a journal is
+// only ever replayed into the sweep that produced it.
+func sweepPointKey(sig string, cfg mapper.Config, hw hardware.Config) string {
+	return fmt.Sprintf("sweep|%s|obj%d-keep%d-rot%v|%s", sig, cfg.Objective, cfg.KeepTop, !cfg.DisableRotation, hw.String())
+}
+
+// replaySweepPoint reconstructs a sweep point from its journal record.
+func replaySweepPoint(raw json.RawMessage, hw hardware.Config) (SweepPoint, bool) {
+	var rec sweepRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return SweepPoint{}, false
+	}
+	pt := SweepPoint{HW: hw, Evals: rec.Evals, Replayed: true, Attempts: rec.Attempts}
+	if rec.Err != "" {
+		pt.Err = errors.New(rec.Err)
+	}
+	return pt, true
+}
+
+// recordOf converts a completed sweep point to its journal form.
+func recordOf(pt SweepPoint) sweepRecord {
+	rec := sweepRecord{HW: pt.HW, Evals: pt.Evals, Attempts: pt.Attempts}
+	if pt.Err != nil {
+		rec.Err = pt.Err.Error()
+	}
+	return rec
 }
 
 // EvalSweep evaluates every model on every hardware configuration — the
 // inner loop of the pre-design flow. Points run in parallel and all layer
 // searches share the cache, so configurations repeating a (shape, hardware)
-// pair never recompute it. A failed point is recorded on its SweepPoint
-// rather than aborting the sweep; only context cancellation returns an
-// error. Progress (points done/total, failures, ETA) flows to the attached
-// progress sink, and each point is timed under the engine.sweep_point phase.
+// pair never recompute it. A failed point — unmappable, invalid, panicked,
+// or past its deadline after retries — is recorded on its SweepPoint rather
+// than aborting the sweep; only context cancellation returns an error.
+//
+// With a checkpoint journal configured, each completed point is appended as
+// a JSONL record and points already journaled by an earlier (crashed or
+// killed) run are replayed instead of re-evaluated. Progress (points
+// done/total, failures with the latest reason, replays, ETA) flows to the
+// attached progress sink, and each point is timed under the
+// engine.sweep_point phase.
 func (e *Evaluator) EvalSweep(ctx context.Context, models []workload.Model, hws []hardware.Config, cfg mapper.Config) ([]SweepPoint, error) {
+	cfg = normalize(cfg)
 	pts := make([]SweepPoint, len(hws))
 	track := obs.NewTracker(e.sink, "sweep", len(hws))
-	err := ParallelFor(ctx, len(hws), e.workers, func(i int) error {
-		stop := e.reg.Span("engine.sweep_point")
-		pt := SweepPoint{HW: hws[i]}
-		for _, m := range models {
-			res, err := e.EvalModel(ctx, m, hws[i], cfg)
-			if err != nil {
-				if ctx.Err() != nil {
-					stop()
-					return ctx.Err()
-				}
-				pt.Err = err
-				pt.Results = nil
-				break
+	sig := modelsSig(models)
+	jrn := e.cfg.Journal
+	err := ParallelFor(ctx, len(hws), e.cfg.Workers, func(i int) error {
+		key := sweepPointKey(sig, cfg, hws[i])
+		if raw, ok := jrn.Lookup(key); ok {
+			if pt, ok := replaySweepPoint(raw, hws[i]); ok {
+				pts[i] = pt
+				e.replayed.Add(1)
+				track.Replayed(pt.Err)
+				return nil
 			}
-			pt.Results = append(pt.Results, res)
+		}
+		stop := e.reg.Span("engine.sweep_point")
+		pt := e.evalSweepPoint(ctx, models, hws[i], cfg)
+		stop()
+		if pt.Err != nil && ctx.Err() != nil {
+			// Cancelled mid-point: not a point failure, and never journaled
+			// — a resumed run must re-evaluate it.
+			return ctx.Err()
 		}
 		pts[i] = pt
-		stop()
+		if err := jrn.Append(key, recordOf(pt)); err != nil {
+			return err
+		}
 		track.Done(pt.Err)
 		return nil
 	})
@@ -374,4 +621,57 @@ func (e *Evaluator) EvalSweep(ctx context.Context, models []workload.Model, hws 
 		return nil, err
 	}
 	return pts, nil
+}
+
+// evalSweepPoint evaluates one sweep point under the bounded retry policy.
+func (e *Evaluator) evalSweepPoint(ctx context.Context, models []workload.Model, hw hardware.Config, cfg mapper.Config) SweepPoint {
+	for attempt := 0; ; attempt++ {
+		pt := e.evalSweepPointOnce(ctx, models, hw, cfg)
+		pt.Attempts = attempt + 1
+		if pt.Err == nil || ctx.Err() != nil || !IsRetryable(pt.Err) || attempt >= e.cfg.MaxRetries {
+			return pt
+		}
+		e.retries.Add(1)
+		if sleepCtx(ctx, e.cfg.backoff(attempt)) != nil {
+			return pt
+		}
+	}
+}
+
+// evalSweepPointOnce is one panic-isolated point evaluation attempt: the
+// configuration is validated up front (an invalid Table II combination is a
+// structured failure, not NaN energies downstream), and a panic anywhere in
+// the point body becomes a PanicError on the point.
+func (e *Evaluator) evalSweepPointOnce(ctx context.Context, models []workload.Model, hw hardware.Config, cfg mapper.Config) (pt SweepPoint) {
+	pt = SweepPoint{HW: hw}
+	defer func() {
+		if r := recover(); r != nil {
+			pe := &PanicError{Site: "engine.sweep_point", Op: hw.String(), Value: r, Stack: debug.Stack()}
+			e.recordPanic(pe)
+			pt.Evals, pt.Results = nil, nil
+			pt.Err = pe
+		}
+	}()
+	if err := faults.InjectContext(ctx, "engine.sweep_point", hw.String()); err != nil {
+		pt.Err = err
+		return pt
+	}
+	if err := hw.Validate(); err != nil {
+		pt.Err = err
+		return pt
+	}
+	for _, m := range models {
+		res, err := e.EvalModel(ctx, m, hw, cfg)
+		if err != nil {
+			pt.Evals, pt.Results = nil, nil
+			pt.Err = err
+			return pt
+		}
+		pt.Results = append(pt.Results, res)
+		pt.Evals = append(pt.Evals, ModelEval{
+			Model: m.Name, Energy: res.Energy, Cycles: res.Cycles,
+			Mapped: len(res.Layers), Skipped: res.Skipped,
+		})
+	}
+	return pt
 }

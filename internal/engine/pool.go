@@ -3,13 +3,33 @@ package engine
 import (
 	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
+
+// safeCall runs f(i) with panic isolation: a panicking body returns a
+// structured *PanicError instead of tearing down the worker pool (and, with
+// it, every sibling computation and waiter).
+func safeCall(f func(int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{
+				Site:  "engine.parallel_for",
+				Op:    "body",
+				Value: r,
+				Stack: debug.Stack(),
+			}
+		}
+	}()
+	return f(i)
+}
 
 // ParallelFor runs f(i) for i in [0, n) across at most `workers` goroutines
 // (<=0 means GOMAXPROCS), honoring context cancellation. Dispatch stops at
 // the first error or at cancellation; indices already dispatched run to
-// completion. The first error (or the context's error) is returned.
+// completion. The first error (or the context's error) is returned. A
+// panicking body is recovered and surfaced as a *PanicError rather than
+// crashing the process.
 //
 // It subsumes the former dse.parallelFor and is the single fan-out primitive
 // of the evaluation engine; nesting is safe because the engine bounds actual
@@ -27,7 +47,7 @@ func ParallelFor(ctx context.Context, n, workers int, f func(int) error) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := f(i); err != nil {
+			if err := safeCall(f, i); err != nil {
 				return err
 			}
 		}
@@ -52,7 +72,7 @@ func ParallelFor(ctx context.Context, n, workers int, f func(int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				if err := f(i); err != nil {
+				if err := safeCall(f, i); err != nil {
 					fail(err)
 					return
 				}

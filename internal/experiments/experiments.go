@@ -38,7 +38,15 @@ var eng = engine.New(cm)
 // progress sink attached (either may be nil). Call before running any
 // experiment; the previous engine's memoized searches are discarded.
 func SetObserver(reg *obs.Registry, sink obs.ProgressSink) {
-	eng = engine.NewObserved(cm, 0, reg, sink)
+	SetEngineConfig(engine.Config{Registry: reg, Sink: sink})
+}
+
+// SetEngineConfig rebuilds the shared engine under a full concurrency and
+// resilience policy (deadlines, retries, checkpoint journal, observation).
+// Call before running any experiment; the previous engine's memoized
+// searches are discarded.
+func SetEngineConfig(cfg engine.Config) {
+	eng = engine.NewFromConfig(cm, cfg)
 }
 
 // Experiment is one regenerable paper artifact.

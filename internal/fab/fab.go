@@ -47,8 +47,16 @@ func TSMC16Like() Process {
 	}
 }
 
-// Validate reports an error for non-physical parameters.
+// Validate reports an error for non-physical parameters, including NaN or
+// infinite values — Murphy's formula and the packing approximation silently
+// propagate them into every downstream cost otherwise.
 func (p Process) Validate() error {
+	for _, v := range []float64{p.WaferCostUSD, p.WaferDiameterMM, p.DefectsPerMM2,
+		p.ScribeMM, p.KGDTestUSD, p.AssemblyUSDPerDie, p.AssemblyYield} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("fab: non-finite parameter in %+v", p)
+		}
+	}
 	switch {
 	case p.WaferCostUSD <= 0 || p.WaferDiameterMM <= 0:
 		return fmt.Errorf("fab: non-positive wafer parameters in %+v", p)

@@ -1,0 +1,234 @@
+// Package faults is a deterministic fault-injection harness for the
+// evaluation stack. Production code declares named injection sites
+// (faults.Inject("engine.search", key)); tests install an Injector whose
+// rules fire panics, delays, transient errors or context cancellations at
+// chosen sites, on chosen occurrences, matching chosen operation keys. With
+// no injector installed a site costs one atomic load and a branch, so the
+// hooks stay in release builds — the same discipline chaos frameworks use to
+// prove graceful degradation on the real code paths rather than on mocks.
+//
+// Determinism: every rule carries an occurrence window (After/Times) counted
+// per rule under a mutex, so a test that says "panic the second matching
+// search" observes exactly that, run after run, including under -race.
+package faults
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind selects what a matching rule does to the operation.
+type Kind int
+
+const (
+	// KindPanic panics with the rule's Panic value (a string describing the
+	// injected failure when unset).
+	KindPanic Kind = iota
+	// KindDelay sleeps for the rule's Delay, honoring ctx cancellation, then
+	// lets the operation proceed — the tool for driving deadline overruns.
+	KindDelay
+	// KindError returns the rule's Err (a transient error when unset).
+	KindError
+	// KindCancel calls the rule's Cancel function (e.g. a context.CancelFunc
+	// captured by the test) and lets the operation proceed — the tool for
+	// deterministic mid-sweep cancellation.
+	KindCancel
+)
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindDelay:
+		return "delay"
+	case KindError:
+		return "error"
+	case KindCancel:
+		return "cancel"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Rule is one fault: where it fires, which operations it matches, on which
+// occurrences, and what it does.
+type Rule struct {
+	// Site is the exact injection-site name, e.g. "engine.search".
+	Site string
+	// Match restricts the rule to operation keys containing this substring
+	// ("" matches every key at the site).
+	Match string
+	// After skips the first After matching operations before firing.
+	After int
+	// Times bounds how many operations the rule fires on (0 = every one).
+	Times int
+
+	Kind Kind
+	// Delay is the sleep duration of KindDelay.
+	Delay time.Duration
+	// Err is the error returned by KindError; defaults to a transient error
+	// (see Transient) so the engine's retry classification sees it as
+	// retryable.
+	Err error
+	// Panic is the value panicked by KindPanic.
+	Panic any
+	// Cancel is the function invoked by KindCancel.
+	Cancel func()
+}
+
+// transientError is a retryable injected failure: it implements the
+// Temporary() classification the engine's retry policy consults.
+type transientError struct{ msg string }
+
+func (e *transientError) Error() string   { return e.msg }
+func (e *transientError) Temporary() bool { return true }
+
+// Transient builds a retryable injected error (Temporary() reports true).
+func Transient(msg string) error { return &transientError{msg: msg} }
+
+// Permanent builds a non-retryable injected error.
+func Permanent(msg string) error { return fmt.Errorf("faults: %s", msg) }
+
+// ruleState pairs a rule with its per-rule occurrence counters.
+type ruleState struct {
+	Rule
+	seen  int // matching operations observed
+	fired int // operations the rule acted on
+}
+
+// Injector evaluates rules at injection sites. Safe for concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	rules []*ruleState
+}
+
+// NewInjector builds an injector over the given rules.
+func NewInjector(rules ...Rule) *Injector {
+	in := &Injector{}
+	for _, r := range rules {
+		in.rules = append(in.rules, &ruleState{Rule: r})
+	}
+	return in
+}
+
+// Fired returns how many times rules at the given site have acted
+// (all sites when site is "").
+func (in *Injector) Fired(site string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, r := range in.rules {
+		if site == "" || r.Site == site {
+			n += r.fired
+		}
+	}
+	return n
+}
+
+// match decides under the injector lock whether a rule acts on this
+// operation, advancing its occurrence counters.
+func (in *Injector) match(site, key string) *Rule {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, r := range in.rules {
+		if r.Site != site || !strings.Contains(key, r.Match) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.After {
+			continue
+		}
+		if r.Times > 0 && r.fired >= r.Times {
+			continue
+		}
+		r.fired++
+		rule := r.Rule
+		return &rule
+	}
+	return nil
+}
+
+// fire applies a matched rule. Panics for KindPanic; returns the injected
+// error for KindError; sleeps (honoring ctx) for KindDelay; invokes the
+// cancel hook for KindCancel.
+func fire(ctx context.Context, r *Rule, site, key string) error {
+	switch r.Kind {
+	case KindPanic:
+		v := r.Panic
+		if v == nil {
+			v = fmt.Sprintf("faults: injected panic at %s (%s)", site, key)
+		}
+		panic(v)
+	case KindDelay:
+		t := time.NewTimer(r.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		return nil
+	case KindError:
+		if r.Err != nil {
+			return r.Err
+		}
+		return Transient(fmt.Sprintf("faults: injected transient error at %s (%s)", site, key))
+	case KindCancel:
+		if r.Cancel != nil {
+			r.Cancel()
+		}
+		return nil
+	}
+	return nil
+}
+
+// InjectContext evaluates the injector at a named site for one operation key.
+// It returns nil (after any injected delay) when no rule fires.
+func (in *Injector) InjectContext(ctx context.Context, site, key string) error {
+	if in == nil {
+		return nil
+	}
+	r := in.match(site, key)
+	if r == nil {
+		return nil
+	}
+	return fire(ctx, r, site, key)
+}
+
+// Inject is InjectContext with a background context (delays run to
+// completion).
+func (in *Injector) Inject(site, key string) error {
+	return in.InjectContext(context.Background(), site, key)
+}
+
+// active is the process-wide injector consulted by the production injection
+// sites; nil (the default) disables every site at the cost of an atomic load.
+var active atomic.Pointer[Injector]
+
+// Set installs the process-wide injector (nil disables injection).
+func Set(in *Injector) { active.Store(in) }
+
+// Clear removes the process-wide injector.
+func Clear() { active.Store(nil) }
+
+// Active returns the installed process-wide injector (nil when disabled).
+func Active() *Injector { return active.Load() }
+
+// Inject evaluates the process-wide injector at a named site. This is the
+// call production code embeds; it reduces to an atomic load and a branch
+// when no injector is installed.
+func Inject(site, key string) error {
+	return active.Load().Inject(site, key)
+}
+
+// InjectContext is Inject with cancellation-aware delays.
+func InjectContext(ctx context.Context, site, key string) error {
+	return active.Load().InjectContext(ctx, site, key)
+}

@@ -1,0 +1,140 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsNoop(t *testing.T) {
+	var in *Injector
+	if err := in.Inject("any", "key"); err != nil {
+		t.Error(err)
+	}
+	if in.Fired("") != 0 {
+		t.Error("nil injector cannot fire")
+	}
+	Clear()
+	if err := Inject("any", "key"); err != nil {
+		t.Error("cleared global injector must be a no-op")
+	}
+}
+
+func TestRuleOccurrenceWindow(t *testing.T) {
+	in := NewInjector(Rule{Site: "s", Kind: KindError, After: 2, Times: 2})
+	var errs []error
+	for i := 0; i < 6; i++ {
+		errs = append(errs, in.Inject("s", "op"))
+	}
+	for i, err := range errs {
+		wantErr := i == 2 || i == 3 // fires on the 3rd and 4th occurrence only
+		if (err != nil) != wantErr {
+			t.Errorf("occurrence %d: err=%v, want firing=%v", i, err, wantErr)
+		}
+	}
+	if in.Fired("s") != 2 {
+		t.Errorf("fired %d, want 2", in.Fired("s"))
+	}
+}
+
+func TestRuleSiteAndMatchFilter(t *testing.T) {
+	in := NewInjector(Rule{Site: "s", Match: "conv3", Kind: KindError})
+	if err := in.Inject("other", "conv3 on hw"); err != nil {
+		t.Error("wrong site must not fire")
+	}
+	if err := in.Inject("s", "conv1 on hw"); err != nil {
+		t.Error("non-matching key must not fire")
+	}
+	if err := in.Inject("s", "conv3 on hw"); err == nil {
+		t.Error("matching site+key must fire")
+	}
+}
+
+func TestKindPanic(t *testing.T) {
+	in := NewInjector(Rule{Site: "s", Kind: KindPanic, Panic: "boom"})
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("recovered %v, want boom", r)
+		}
+	}()
+	in.Inject("s", "op")
+	t.Fatal("unreachable: KindPanic must panic")
+}
+
+func TestKindErrorDefaultsTransient(t *testing.T) {
+	in := NewInjector(Rule{Site: "s", Kind: KindError})
+	err := in.Inject("s", "op")
+	var tmp interface{ Temporary() bool }
+	if !errors.As(err, &tmp) || !tmp.Temporary() {
+		t.Fatalf("default injected error must be transient: %v", err)
+	}
+	in2 := NewInjector(Rule{Site: "s", Kind: KindError, Err: Permanent("hard")})
+	if err := in2.Inject("s", "op"); errors.As(err, &tmp) {
+		t.Errorf("Permanent error must not be Temporary: %v", err)
+	}
+}
+
+func TestKindDelayHonorsContext(t *testing.T) {
+	in := NewInjector(Rule{Site: "s", Kind: KindDelay, Delay: time.Minute})
+	ctx, cancel := context.WithCancel(context.Background())
+	go cancel()
+	start := time.Now()
+	err := in.InjectContext(ctx, "s", "op")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Error("delay ignored cancellation")
+	}
+}
+
+func TestKindCancelInvokesHook(t *testing.T) {
+	called := false
+	in := NewInjector(Rule{Site: "s", Kind: KindCancel, Cancel: func() { called = true }})
+	if err := in.Inject("s", "op"); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Error("cancel hook not invoked")
+	}
+}
+
+func TestConcurrentDeterminism(t *testing.T) {
+	// Times is exact under concurrency: 64 racing operations, exactly 3 fire.
+	in := NewInjector(Rule{Site: "s", Kind: KindError, Times: 3})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := in.Inject("s", "op"); err != nil {
+				mu.Lock()
+				fired++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 3 || in.Fired("s") != 3 {
+		t.Errorf("fired %d (injector says %d), want exactly 3", fired, in.Fired("s"))
+	}
+}
+
+func TestGlobalInstall(t *testing.T) {
+	in := NewInjector(Rule{Site: "s", Kind: KindError, Times: 1})
+	Set(in)
+	defer Clear()
+	if Active() != in {
+		t.Fatal("Active must return the installed injector")
+	}
+	if err := Inject("s", "op"); err == nil {
+		t.Error("global site must fire")
+	}
+	if err := Inject("s", "op"); err != nil {
+		t.Error("exhausted rule must not fire")
+	}
+}

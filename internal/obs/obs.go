@@ -202,6 +202,19 @@ func (h *Histogram) Stats() PhaseStats {
 	}
 }
 
+// Event is one notable occurrence worth keeping verbatim — a recovered
+// panic's value and stack, a checkpoint anomaly — that counters alone cannot
+// describe. Events live in a bounded ring (the most recent maxEvents are
+// kept) and ship with the -metrics snapshot.
+type Event struct {
+	Time   time.Time `json:"time"`
+	Name   string    `json:"name"`
+	Detail string    `json:"detail"`
+}
+
+// maxEvents bounds the event ring; older events are dropped.
+const maxEvents = 64
+
 // Registry is a concurrency-safe metrics registry. Metric instruments are
 // created on first use and live for the registry's lifetime, so callers may
 // resolve them once and update through the returned pointer with pure atomic
@@ -212,6 +225,8 @@ type Registry struct {
 	counters  map[string]*Counter
 	gauges    map[string]*Gauge
 	phases    map[string]*Histogram
+	events    []Event
+	dropped   int64
 	startedAt time.Time
 }
 
@@ -288,6 +303,39 @@ func (r *Registry) Phase(name string) *Histogram {
 	return h
 }
 
+// Event appends one event to the bounded ring, truncating oversized detail
+// (panic stacks can be long) and dropping the oldest event when full. No-op
+// on a nil registry.
+func (r *Registry) Event(name, detail string) {
+	if r == nil {
+		return
+	}
+	const maxDetail = 4096
+	if len(detail) > maxDetail {
+		detail = detail[:maxDetail] + "... (truncated)"
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.events) >= maxEvents {
+		copy(r.events, r.events[1:])
+		r.events = r.events[:maxEvents-1]
+		r.dropped++
+	}
+	r.events = append(r.events, Event{Time: time.Now(), Name: name, Detail: detail})
+}
+
+// Events snapshots the event ring, oldest first (nil on a nil registry).
+func (r *Registry) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
 // noopStop is the shared end-of-span function of the disabled path, so a nil
 // registry's Span allocates nothing.
 var noopStop = func() {}
@@ -314,6 +362,10 @@ type Snapshot struct {
 	Counters map[string]int64      `json:"counters,omitempty"`
 	Gauges   map[string]int64      `json:"gauges,omitempty"`
 	Phases   map[string]PhaseStats `json:"phases,omitempty"`
+	// Events are the most recent notable events (recovered panics, journal
+	// anomalies); DroppedEvents counts older ones evicted from the ring.
+	Events        []Event `json:"events,omitempty"`
+	DroppedEvents int64   `json:"dropped_events,omitempty"`
 }
 
 // Snapshot exports every registered metric (zero value on a nil registry).
@@ -337,6 +389,11 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.phases {
 		s.Phases[name] = h.Stats()
+	}
+	if len(r.events) > 0 {
+		s.Events = make([]Event, len(r.events))
+		copy(s.Events, r.events)
+		s.DroppedEvents = r.dropped
 	}
 	return s
 }

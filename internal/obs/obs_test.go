@@ -268,3 +268,74 @@ func TestServePprof(t *testing.T) {
 type sinkFunc func(Progress)
 
 func (f sinkFunc) Progress(p Progress) { f(p) }
+
+func TestEventRing(t *testing.T) {
+	r := NewRegistry()
+	r.Event("panic.engine.search", "conv3: boom\nstack...")
+	evts := r.Events()
+	if len(evts) != 1 || evts[0].Name != "panic.engine.search" || evts[0].Time.IsZero() {
+		t.Fatalf("events = %+v", evts)
+	}
+	// Oversized detail truncates instead of bloating the snapshot.
+	big := strings.Repeat("x", 10000)
+	r.Event("big", big)
+	evts = r.Events()
+	if len(evts[1].Detail) >= 10000 || !strings.HasSuffix(evts[1].Detail, "(truncated)") {
+		t.Errorf("detail not truncated: %d bytes", len(evts[1].Detail))
+	}
+	// The ring is bounded: oldest events drop and are counted.
+	for i := 0; i < 100; i++ {
+		r.Event("spam", "d")
+	}
+	snap := r.Snapshot()
+	if len(snap.Events) != 64 {
+		t.Errorf("ring holds %d events, want 64", len(snap.Events))
+	}
+	if snap.DroppedEvents != 38 { // 102 emitted - 64 retained
+		t.Errorf("dropped = %d, want 38", snap.DroppedEvents)
+	}
+	// Nil registry: inert.
+	var nilReg *Registry
+	nilReg.Event("x", "y")
+	if nilReg.Events() != nil {
+		t.Error("nil registry must report no events")
+	}
+}
+
+func TestTrackerReplayedAndLastErr(t *testing.T) {
+	var mu sync.Mutex
+	var events []Progress
+	sink := sinkFunc(func(p Progress) {
+		mu.Lock()
+		events = append(events, p)
+		mu.Unlock()
+	})
+	tr := NewTracker(sink, "sweep", 3)
+	tr.Replayed(nil)
+	tr.Done(errors.New("no valid mapping for conv9"))
+	tr.Done(nil)
+	mu.Lock()
+	last := events[len(events)-1]
+	mu.Unlock()
+	if last.Replayed != 1 || last.Failed != 1 {
+		t.Fatalf("progress = %+v", last)
+	}
+	if last.LastErr != "no valid mapping for conv9" {
+		t.Errorf("LastErr = %q", last.LastErr)
+	}
+	s := last.String()
+	for _, want := range []string{"1 replayed", "1 failed", "conv9"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("line %q missing %q", s, want)
+		}
+	}
+	// A journaled failure replays as a failure.
+	tr2 := NewTracker(sink, "sweep", 1)
+	tr2.Replayed(errors.New("replayed failure"))
+	mu.Lock()
+	last = events[len(events)-1]
+	mu.Unlock()
+	if last.Failed != 1 || last.Replayed != 1 {
+		t.Errorf("replayed failure progress = %+v", last)
+	}
+}

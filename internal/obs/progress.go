@@ -9,12 +9,20 @@ import (
 )
 
 // Progress is one sweep progress event: how far a named stage has advanced,
-// how many points failed, and an ETA extrapolated from the observed rate.
+// how many points failed (and why, most recently), how many were replayed
+// from a checkpoint, and an ETA extrapolated from the observed rate.
 type Progress struct {
-	Stage   string
-	Done    int
-	Total   int
-	Failed  int
+	Stage  string
+	Done   int
+	Total  int
+	Failed int
+	// Replayed counts points served from a checkpoint journal instead of
+	// being re-evaluated (the -resume path).
+	Replayed int
+	// LastErr is the most recent point failure reason ("" when none), so a
+	// degrading sweep is visible live rather than only in the final metrics
+	// snapshot.
+	LastErr string
 	Elapsed time.Duration
 	// ETA is the projected remaining time (0 until at least one point is
 	// done).
@@ -24,8 +32,15 @@ type Progress struct {
 // String renders the event as one status line.
 func (p Progress) String() string {
 	s := fmt.Sprintf("%s: %d/%d", p.Stage, p.Done, p.Total)
+	if p.Replayed > 0 {
+		s += fmt.Sprintf(" (%d replayed)", p.Replayed)
+	}
 	if p.Failed > 0 {
-		s += fmt.Sprintf(" (%d failed)", p.Failed)
+		s += fmt.Sprintf(" (%d failed", p.Failed)
+		if p.LastErr != "" {
+			s += fmt.Sprintf(", last: %s", p.LastErr)
+		}
+		s += ")"
 	}
 	if p.Done < p.Total && p.ETA > 0 {
 		s += fmt.Sprintf(", eta %s", p.ETA.Round(time.Second))
@@ -70,6 +85,8 @@ type Tracker struct {
 	start     time.Time
 	done      atomic.Int64
 	failed    atomic.Int64
+	replayed  atomic.Int64
+	lastErr   atomic.Pointer[string]
 	lastEmit  atomic.Int64 // UnixNano of the last emitted event
 	minPeriod time.Duration
 }
@@ -89,12 +106,23 @@ func NewTracker(sink ProgressSink, stage string, total int) *Tracker {
 
 // Done records one completed point (failed when err != nil) and emits a
 // progress event if the stage finished or the rate limit allows.
-func (t *Tracker) Done(err error) {
+func (t *Tracker) Done(err error) { t.record(err, false) }
+
+// Replayed records one point served from a checkpoint journal (still failed
+// when err != nil — a journaled failure replays as a failure).
+func (t *Tracker) Replayed(err error) { t.record(err, true) }
+
+func (t *Tracker) record(err error, replayed bool) {
 	if t == nil {
 		return
 	}
 	if err != nil {
 		t.failed.Add(1)
+		msg := err.Error()
+		t.lastErr.Store(&msg)
+	}
+	if replayed {
+		t.replayed.Add(1)
 	}
 	done := t.done.Add(1)
 	now := time.Now()
@@ -114,12 +142,18 @@ func (t *Tracker) snapshot(done int, now time.Time) Progress {
 	if done > 0 && done < t.total {
 		eta = time.Duration(float64(elapsed) / float64(done) * float64(t.total-done))
 	}
+	lastErr := ""
+	if p := t.lastErr.Load(); p != nil {
+		lastErr = *p
+	}
 	return Progress{
-		Stage:   t.stage,
-		Done:    done,
-		Total:   t.total,
-		Failed:  int(t.failed.Load()),
-		Elapsed: elapsed,
-		ETA:     eta,
+		Stage:    t.stage,
+		Done:     done,
+		Total:    t.total,
+		Failed:   int(t.failed.Load()),
+		Replayed: int(t.replayed.Load()),
+		LastErr:  lastErr,
+		Elapsed:  elapsed,
+		ETA:      eta,
 	}
 }
