@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench vet race fuzz chaos check
+.PHONY: build test bench benchall bench-smoke vet race fuzz chaos check equiv
 
 build:
 	$(GO) build ./...
@@ -8,8 +8,28 @@ build:
 test:
 	$(GO) test ./...
 
+# bench runs the mapper-search and model-evaluation benchmarks and commits
+# the numbers to BENCH_mapper.json (via cmd/benchjson), including the derived
+# exhaustive-vs-pruned speedup and allocation ratios.
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSearchLayer|BenchmarkEngineEvalModelResNet50' -benchmem -count=1 . \
+		| $(GO) run ./cmd/benchjson -o BENCH_mapper.json
+	@cat BENCH_mapper.json
+
+# benchall is the full suite across every package (the pre-perf-PR `bench`).
+benchall:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-smoke is the CI variant: one iteration per benchmark, just to prove
+# the harness and the benchjson pipeline still run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkSearchLayer' -benchtime 1x -benchmem -count=1 . \
+		| $(GO) run ./cmd/benchjson
+
+# equiv pins the branch-and-bound search to the exhaustive reference across
+# the model zoo under the race detector (the perf-PR correctness gate).
+equiv:
+	$(GO) test -race -count=1 -run 'TestSearchAllMatchesExhaustive|TestSearchAllWorkersInvariant|TestBestPerSpatialCombo' ./internal/mapper
 
 vet:
 	$(GO) vet ./...

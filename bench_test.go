@@ -298,6 +298,71 @@ func BenchmarkFunctionalExecution(b *testing.B) {
 	}
 }
 
+// benchSearchLayer is the heavy ResNet-50 conv the single-layer search
+// benchmarks run on — the same representative layer as the Fig 11 study.
+func benchSearchLayer(b *testing.B) workload.Layer {
+	l, err := workload.ResNet50(224).Layer("res2a_branch2b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+// BenchmarkSearchLayerExhaustive measures the retained exhaustive reference
+// search on the heavy conv: every candidate pays the full
+// analyze→traffic→energy→simulate pipeline.
+func BenchmarkSearchLayerExhaustive(b *testing.B) {
+	l := benchSearchLayer(b)
+	hw := hardware.CaseStudy()
+	cfg := mapper.Config{Objective: mapper.MinEnergy, KeepTop: 8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(mapper.SearchExhaustive(l, hw, benchCM, cfg)) == 0 {
+			b.Fatal("no options")
+		}
+	}
+}
+
+// BenchmarkSearchLayerPruned measures the branch-and-bound search on the same
+// layer and config — result-identical to the exhaustive reference (pinned by
+// TestSearchAllMatchesExhaustiveZoo) but with bound and stage pruning plus
+// subtree parallelism. Extra metrics report the candidate funnel.
+func BenchmarkSearchLayerPruned(b *testing.B) {
+	l := benchSearchLayer(b)
+	hw := hardware.CaseStudy()
+	ctr := &mapper.Counters{
+		Generated:   &obs.Counter{},
+		BoundPruned: &obs.Counter{},
+		StagePruned: &obs.Counter{},
+		Evaluated:   &obs.Counter{},
+	}
+	cfg := mapper.Config{Objective: mapper.MinEnergy, KeepTop: 8, Counters: ctr}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(mapper.SearchAll(l, hw, benchCM, cfg)) == 0 {
+			b.Fatal("no options")
+		}
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(ctr.Generated.Value())/n, "candidates/op")
+	b.ReportMetric(float64(ctr.BoundPruned.Value()+ctr.StagePruned.Value())/n, "pruned/op")
+	b.ReportMetric(float64(ctr.Evaluated.Value())/n, "evaluated/op")
+}
+
+// BenchmarkSearchLayerPrunedSerial is the pruned search pinned to one worker,
+// isolating the bound/staging win from the parallel speedup.
+func BenchmarkSearchLayerPrunedSerial(b *testing.B) {
+	l := benchSearchLayer(b)
+	hw := hardware.CaseStudy()
+	cfg := mapper.Config{Objective: mapper.MinEnergy, KeepTop: 8, Workers: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(mapper.SearchAll(l, hw, benchCM, cfg)) == 0 {
+			b.Fatal("no options")
+		}
+	}
+}
+
 // BenchmarkEngineEvalModelResNet50Cold measures a full ResNet-50 search on a
 // fresh engine: shape deduplication applies within the model (unique shapes
 // only), but nothing is pre-cached.

@@ -1,0 +1,153 @@
+// benchjson converts `go test -bench` text output (read from stdin) into a
+// stable JSON artifact, so perf baselines can be committed and diffed — see
+// the `bench` Makefile target, which uses it to produce BENCH_mapper.json.
+//
+// Every metric pair a benchmark line reports is kept (ns/op, B/op, allocs/op,
+// plus any b.ReportMetric extras such as candidates/op or pruned/op). When
+// both a `<base>Exhaustive` and `<base>Pruned` benchmark appear, a derived
+// speedup/alloc-reduction summary is emitted alongside the raw numbers.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the JSON artifact.
+type Report struct {
+	GOOS       string             `json:"goos,omitempty"`
+	GOARCH     string             `json:"goarch,omitempty"`
+	Pkg        string             `json:"pkg,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	derive(rep)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads the text format produced by `go test -bench`: header key:value
+// lines, then one line per benchmark of the shape
+//
+//	BenchmarkName-8   <iters>   <value> <unit>   <value> <unit> ...
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBench(line)
+			if err != nil {
+				return nil, fmt.Errorf("%q: %w", line, err)
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return rep, nil
+}
+
+func parseBench(line string) (Benchmark, error) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return Benchmark{}, fmt.Errorf("too few fields")
+	}
+	// Strip the -GOMAXPROCS suffix so baselines diff cleanly across machines.
+	name := f[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iterations: %w", err)
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("metric value %q: %w", f[i], err)
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, nil
+}
+
+// derive adds exhaustive-vs-pruned ratios when both sides were measured.
+func derive(rep *Report) {
+	byName := map[string]Benchmark{}
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b
+	}
+	for name, ex := range byName {
+		base, ok := strings.CutSuffix(name, "Exhaustive")
+		if !ok {
+			continue
+		}
+		pr, ok := byName[base+"Pruned"]
+		if !ok {
+			continue
+		}
+		if rep.Derived == nil {
+			rep.Derived = map[string]float64{}
+		}
+		if en, pn := ex.Metrics["ns/op"], pr.Metrics["ns/op"]; pn > 0 {
+			rep.Derived[base+"_speedup"] = en / pn
+		}
+		if ea, pa := ex.Metrics["allocs/op"], pr.Metrics["allocs/op"]; pa > 0 {
+			rep.Derived[base+"_allocs_reduction"] = ea / pa
+		}
+	}
+}

@@ -73,7 +73,9 @@ func (f FillAnalysis) String() string {
 	return fmt.Sprintf("base=%dB intrinsic=%dB thresholds=%v", f.Base, f.Intrinsic, f.Thresholds)
 }
 
-// walker accumulates the generic inner→outer C³P scan.
+// walker accumulates the generic inner→outer C³P scan. It appends critical
+// points to a caller-provided buffer (nil for the allocating convenience
+// paths), so the mapper's candidate loop can reuse one buffer per worker.
 type walker struct {
 	foot      int64 // accumulated footprint (critical capacity candidate)
 	intrinsic int64
@@ -81,8 +83,8 @@ type walker struct {
 	ths       []Threshold
 }
 
-func newWalker(base int64) *walker {
-	return &walker{foot: base, intrinsic: base, pending: 1}
+func newWalker(base int64, buf []Threshold) walker {
+	return walker{foot: base, intrinsic: base, pending: 1, ths: buf}
 }
 
 // relevant crosses a relevant loop: flush any open reuse region first (its
@@ -116,8 +118,14 @@ func (w *walker) finish(base int64) FillAnalysis {
 // channels over the layer's full CI×R×S reduction. Output-channel loops are
 // relevant; planar loops are irrelevant.
 func WeightWalk(l workload.Layer, nest []mapping.Loop, baseCO int) FillAnalysis {
+	return weightWalk(l, nest, baseCO, nil)
+}
+
+// weightWalk is WeightWalk writing thresholds into buf (appended from buf[:0]
+// by the caller; nil allocates).
+func weightWalk(l workload.Layer, nest []mapping.Loop, baseCO int, buf []Threshold) FillAnalysis {
 	base := int64(baseCO) * int64(l.CIPerGroup()) * int64(l.R) * int64(l.S)
-	w := newWalker(base)
+	w := newWalker(base, buf)
 	for i := len(nest) - 1; i >= 0; i-- {
 		lp := nest[i]
 		if lp.Count <= 1 {
@@ -139,9 +147,15 @@ func WeightWalk(l workload.Layer, nest []mapping.Loop, baseCO int) FillAnalysis 
 // exactly); channel loops are irrelevant (the same activations feed every
 // output channel).
 func ActivationWalk(l workload.Layer, nest []mapping.Loop, baseHO, baseWO, ci int) FillAnalysis {
+	return activationWalk(l, nest, baseHO, baseWO, ci, nil)
+}
+
+// activationWalk is ActivationWalk writing thresholds into buf (appended from
+// buf[:0] by the caller; nil allocates).
+func activationWalk(l workload.Layer, nest []mapping.Loop, baseHO, baseWO, ci int, buf []Threshold) FillAnalysis {
 	h, wo := baseHO, baseWO
 	base := l.TileInputBytes(h, wo, ci)
-	w := newWalker(base)
+	w := newWalker(base, buf)
 	for i := len(nest) - 1; i >= 0; i-- {
 		lp := nest[i]
 		if lp.Count <= 1 {
@@ -171,4 +185,17 @@ func (f FillAnalysis) WithInnerThreshold(capacity, penalty int64) FillAnalysis {
 	out := f
 	out.Thresholds = append([]Threshold{{Capacity: capacity, Penalty: penalty}}, f.Thresholds...)
 	return out
+}
+
+// withInnerThresholdInPlace is WithInnerThreshold shifting within (and possibly
+// growing) the existing threshold buffer instead of allocating a fresh slice.
+// The caller must own the backing array.
+func (f FillAnalysis) withInnerThresholdInPlace(capacity, penalty int64) FillAnalysis {
+	if penalty <= 1 {
+		return f
+	}
+	f.Thresholds = append(f.Thresholds, Threshold{})
+	copy(f.Thresholds[1:], f.Thresholds)
+	f.Thresholds[0] = Threshold{Capacity: capacity, Penalty: penalty}
+	return f
 }

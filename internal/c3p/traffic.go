@@ -98,20 +98,60 @@ func Analyze(l workload.Layer, hw hardware.Config, m mapping.Mapping) (*Analysis
 	if err := m.Validate(l, hw); err != nil {
 		return nil, err
 	}
-	s := m.Shape(l, hw)
-	a := &Analysis{Layer: l, HW: hw, Map: m, Shape: s}
+	a := &Analysis{}
+	AnalyzeInto(a, &Scratch{}, l, hw, m)
+	return a, nil
+}
 
-	nest := m.Nest(s)
-	a.WL1 = WeightWalk(l, nest, hw.Lanes)
-	a.AL2 = ActivationWalk(l, m.PackageNest(s), m.HOt, m.WOt, l.CI)
+// Scratch holds the reusable working buffers of AnalyzeInto: the loop nest
+// and one threshold buffer per analyzed fill stream. A zero Scratch is ready
+// to use; after a few calls the buffers reach steady state and AnalyzeInto
+// stops allocating. A Scratch must not be shared between goroutines.
+type Scratch struct {
+	nest               []mapping.Loop
+	wths, a2ths, a1ths []Threshold
+}
+
+// AnalyzeInto is the allocation-free core of Analyze: it rebuilds a in place
+// using sc's buffers, skipping validation — the mapping must already be known
+// feasible (mapping.Mapping.Feasible). The resulting Analysis aliases sc's
+// threshold buffers and is invalidated by the next AnalyzeInto call with the
+// same Scratch; call Clone to retain it.
+func AnalyzeInto(a *Analysis, sc *Scratch, l workload.Layer, hw hardware.Config, m mapping.Mapping) {
+	s := m.Shape(l, hw)
+	a.Layer, a.HW, a.Map, a.Shape = l, hw, m, s
+
+	// AppendNest lays out the package level in nest[:3] and the chiplet
+	// level in nest[3:], so one append serves all three walks.
+	sc.nest = m.AppendNest(sc.nest[:0], s)
+	a.WL1 = weightWalk(l, sc.nest, hw.Lanes, sc.wths[:0])
+	sc.wths = a.WL1.Thresholds
+	a.AL2 = activationWalk(l, sc.nest[:3], m.HOt, m.WOt, l.CI, sc.a2ths[:0])
+	sc.a2ths = a.AL2.Thresholds
 	// A-L1 carries the supplemental Cc0 point: below one double-buffered
 	// P-channel slice of the core tile, the R×S window passes each refetch
 	// the slice from A-L2.
 	slice := l.TileInputBytes(m.HOc, m.WOc, min(hw.Vector, l.CIPerGroup()))
-	a.AL1 = ActivationWalk(l, m.ChipletNest(s), m.HOc, m.WOc, l.CI).
-		WithInnerThreshold(2*slice, int64(l.R)*int64(l.S))
+	a.AL1 = activationWalk(l, sc.nest[3:], m.HOc, m.WOc, l.CI, sc.a1ths[:0]).
+		withInnerThresholdInPlace(2*slice, int64(l.R)*int64(l.S))
+	sc.a1ths = a.AL1.Thresholds
 
-	// Buffer-size-independent traffic.
+	a.fixed = fixedTraffic(l, hw, m, s)
+}
+
+// Clone detaches the analysis from any Scratch buffers it aliases, returning
+// a copy that stays valid after the scratch is reused.
+func (a *Analysis) Clone() *Analysis {
+	out := *a
+	out.WL1.Thresholds = append([]Threshold(nil), a.WL1.Thresholds...)
+	out.AL2.Thresholds = append([]Threshold(nil), a.AL2.Thresholds...)
+	out.AL1.Thresholds = append([]Threshold(nil), a.AL1.Thresholds...)
+	return &out
+}
+
+// fixedTraffic computes the buffer-size-independent traffic of a mapping.
+func fixedTraffic(l workload.Layer, hw hardware.Config, m mapping.Mapping, s mapping.Shape) Traffic {
+	var t Traffic
 	chiplets := int64(hw.Chiplets)
 	cores := int64(hw.Cores)
 	pkgPos := s.PackagePositions()
@@ -121,9 +161,9 @@ func Analyze(l workload.Layer, hw hardware.Config, m mapping.Mapping) (*Analysis
 	cyclesPerWL := int64(m.HOc) * int64(m.WOc) * int64(l.R) * int64(l.S) * ciSteps
 	activeLanes := int64(min(hw.Lanes, s.COs))
 
-	a.fixed.MACs = l.MACs()
-	a.fixed.OL1RMW = coreWorkloads * cyclesPerWL * activeLanes
-	a.fixed.AL1Reads = coreWorkloads * cyclesPerWL * int64(hw.Vector)
+	t.MACs = l.MACs()
+	t.OL1RMW = coreWorkloads * cyclesPerWL * activeLanes
+	t.AL1Reads = coreWorkloads * cyclesPerWL * int64(hw.Vector)
 	// Weight register loads: one pass of the group's weight set per core
 	// workload position, broadcast across the sharing cores.
 	wtPerWL := int64(hw.Lanes) * ciSteps * int64(hw.Vector) * int64(l.R) * int64(l.S)
@@ -133,16 +173,16 @@ func Analyze(l workload.Layer, hw hardware.Config, m mapping.Mapping) (*Analysis
 	// input entirely).
 	if l.G() > 1 {
 		span := (hw.Lanes + l.COPerGroup() - 1) / l.COPerGroup()
-		a.fixed.AL1Reads *= int64(max(1, min(hw.Lanes, span)))
+		t.AL1Reads *= int64(max(1, min(hw.Lanes, span)))
 	}
 	groups := int64(s.PlanarShareCores) // distinct weight groups per chiplet
-	a.fixed.WL1Reads = chiplets * groups * pkgPos * chipPos * wtPerWL
+	t.WL1Reads = chiplets * groups * pkgPos * chipPos * wtPerWL
 
 	out := l.OutputBytes()
-	a.fixed.DRAMOutWrites = out
-	a.fixed.OL2Writes = out
-	a.fixed.OL2Reads = out
-	return a, nil
+	t.DRAMOutWrites = out
+	t.OL2Writes = out
+	t.OL2Reads = out
+	return t
 }
 
 // Traffic evaluates the total package traffic at the analysis' own hardware
@@ -155,14 +195,43 @@ func (a *Analysis) Traffic() Traffic {
 // sizes (per-core A-L1 and W-L1, per-chiplet A-L2). This is the fast path of
 // the pre-design memory sweep.
 func (a *Analysis) TrafficAt(al1, wl1, al2 int) Traffic {
-	t := a.fixed
-	hw, m, s := a.HW, a.Map, a.Shape
+	pool := int64(wl1) * int64(a.Shape.WeightShareCores)
+	return assembleTraffic(a.fixed, a.HW, a.Map, a.Shape,
+		a.WL1.Fills(pool), a.AL2.Fills(int64(al2)), a.AL1.Fills(int64(al1)))
+}
+
+// TrafficFloor returns a component-wise lower bound on the traffic of a
+// feasible mapping, valid for any buffer capacities: each fill volume is
+// replaced by its intrinsic (infinite-capacity) value, while the
+// buffer-size-independent terms are exact. Because FillAnalysis.Fills only
+// ever multiplies the intrinsic volume by penalties ≥ 1, and assembleTraffic
+// is monotone in each fill volume, TrafficFloor ≤ Traffic() holds
+// component-wise — the property that makes it an admissible bound for the
+// mapper's branch-and-bound search. The intrinsic volumes are in closed form
+// (walk base × product of relevant loop counts), so no nest walk is needed.
+func TrafficFloor(l workload.Layer, hw hardware.Config, m mapping.Mapping, s mapping.Shape) Traffic {
+	// Weight walk: base Lanes·CIg·R·S, relevant DimC counts C1·C2.
+	wIntr := int64(hw.Lanes) * int64(l.CIPerGroup()) * int64(l.R) * int64(l.S) *
+		int64(s.C1) * int64(s.C2)
+	// Activation walks: base input-tile bytes, relevant DimH/DimW counts.
+	aL2Intr := l.TileInputBytes(m.HOt, m.WOt, l.CI) * int64(s.H1) * int64(s.W1)
+	aL1Intr := l.TileInputBytes(m.HOc, m.WOc, l.CI) * int64(s.H2) * int64(s.W2)
+	return assembleTraffic(fixedTraffic(l, hw, m, s), hw, m, s, wIntr, aL2Intr, aL1Intr)
+}
+
+// assembleTraffic combines the fixed traffic with the three fill volumes —
+// per-weight-group W-L1 fills, per-chiplet A-L2 fills, per-core-workload A-L1
+// fills — through the dataflow's distribution branches. It is the single
+// assembly path behind TrafficAt and TrafficFloor, so the bound and the exact
+// evaluation can never diverge structurally; it is monotone non-decreasing in
+// each fill argument.
+func assembleTraffic(fixed Traffic, hw hardware.Config, m mapping.Mapping, s mapping.Shape,
+	groupFills, chipletActFills, coreActFills int64) Traffic {
+	t := fixed
 	chiplets := int64(hw.Chiplets)
 	pkgPos := s.PackagePositions()
 
 	// Weights: fills per weight group, with the merged W-L1 pool capacity.
-	pool := int64(wl1) * int64(s.WeightShareCores)
-	groupFills := a.WL1.Fills(pool)
 	groups := int64(s.PlanarShareCores)
 	perChipletWt := groupFills * groups
 	t.WL1Writes = perChipletWt * chiplets
@@ -178,7 +247,7 @@ func (a *Analysis) TrafficAt(al1, wl1, al2 int) Traffic {
 	}
 
 	// Activations at the chiplet boundary (A-L2 fills).
-	perChipletAct := a.AL2.Fills(int64(al2))
+	perChipletAct := chipletActFills
 	t.AL2Writes = perChipletAct * chiplets
 	if m.PackageSpatial == mapping.SpatialC && m.Rotate {
 		// Chiplets share the same planar tiles: each chiplet reads 1/N_P of
@@ -193,7 +262,7 @@ func (a *Analysis) TrafficAt(al1, wl1, al2 int) Traffic {
 
 	// Activations at the core boundary (A-L1 fills), served from A-L2 over
 	// the multicast bus: cores along the channel split receive one read.
-	perCoreWL := a.AL1.Fills(int64(al1))
+	perCoreWL := coreActFills
 	t.AL1Writes = perCoreWL * int64(hw.Cores) * pkgPos * chiplets
 	t.AL2Reads = t.AL1Writes / int64(s.PlanarShareCores)
 	if m.PackageSpatial == mapping.SpatialC && m.Rotate {

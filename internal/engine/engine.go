@@ -115,6 +115,23 @@ type Stats struct {
 	Timeouts int64
 	// Replayed counts sweep points served from the checkpoint journal.
 	Replayed int64
+
+	// Search funnel tallies, aggregated over every search the engine ran
+	// (see mapper.Counters): candidates generated, pruned by the admissible
+	// bound, pruned between pipeline stages, and fully evaluated.
+	Generated   int64
+	BoundPruned int64
+	StagePruned int64
+	Evaluated   int64
+}
+
+// PrunedFraction returns the fraction of generated candidates the search
+// discarded before full evaluation (0 when nothing was generated).
+func (s Stats) PrunedFraction() float64 {
+	if s.Generated == 0 {
+		return 0
+	}
+	return float64(s.BoundPruned+s.StagePruned) / float64(s.Generated)
 }
 
 // String renders the counters with the effective deduplication factor.
@@ -125,6 +142,10 @@ func (s Stats) String() string {
 	}
 	out := fmt.Sprintf("engine: %d lookups, %d searches, %d hits, %d coalesced (%.1fx dedup)",
 		s.Lookups, s.Searches, s.Hits, s.Coalesced, dedup)
+	if s.Generated > 0 {
+		out += fmt.Sprintf("; search: %d candidates, %d bound-pruned, %d stage-pruned, %d evaluated (%.1f%% pruned)",
+			s.Generated, s.BoundPruned, s.StagePruned, s.Evaluated, 100*s.PrunedFraction())
+	}
 	if s.Panics > 0 || s.Retries > 0 || s.Timeouts > 0 || s.Replayed > 0 {
 		out += fmt.Sprintf("; resilience: %d panics, %d retries, %d timeouts, %d replayed",
 			s.Panics, s.Retries, s.Timeouts, s.Replayed)
@@ -158,6 +179,10 @@ type Evaluator struct {
 	panics, retries, timeouts          *obs.Counter
 	replayed                           *obs.Counter
 	cacheEntries                       *obs.Gauge
+
+	// searchCtrs receives the mapper's search-funnel tallies for every
+	// search the engine leads (unless the caller supplied its own Counters).
+	searchCtrs *mapper.Counters
 }
 
 // New builds an evaluator over a cost model with GOMAXPROCS workers.
@@ -200,11 +225,21 @@ func NewFromConfig(cm *hardware.CostModel, cfg Config) *Evaluator {
 		e.timeouts = reg.Counter("engine.timeouts")
 		e.replayed = reg.Counter("engine.replayed_points")
 		e.cacheEntries = reg.Gauge("engine.cache_entries")
+		e.searchCtrs = &mapper.Counters{
+			Generated:   reg.Counter("mapper.candidates_generated"),
+			BoundPruned: reg.Counter("mapper.candidates_bound_pruned"),
+			StagePruned: reg.Counter("mapper.candidates_stage_pruned"),
+			Evaluated:   reg.Counter("mapper.candidates_evaluated"),
+		}
 	} else {
 		e.lookups, e.searches = &obs.Counter{}, &obs.Counter{}
 		e.hits, e.coalesced = &obs.Counter{}, &obs.Counter{}
 		e.panics, e.retries = &obs.Counter{}, &obs.Counter{}
 		e.timeouts, e.replayed = &obs.Counter{}, &obs.Counter{}
+		e.searchCtrs = &mapper.Counters{
+			Generated: &obs.Counter{}, BoundPruned: &obs.Counter{},
+			StagePruned: &obs.Counter{}, Evaluated: &obs.Counter{},
+		}
 	}
 	return e
 }
@@ -235,7 +270,25 @@ func (e *Evaluator) Stats() Stats {
 		Retries:   e.retries.Value(),
 		Timeouts:  e.timeouts.Value(),
 		Replayed:  e.replayed.Value(),
+
+		Generated:   e.searchCtrs.Generated.Value(),
+		BoundPruned: e.searchCtrs.BoundPruned.Value(),
+		StagePruned: e.searchCtrs.StagePruned.Value(),
+		Evaluated:   e.searchCtrs.Evaluated.Value(),
 	}
+}
+
+// pruneNote renders the live search-funnel state for sweep progress lines:
+// how many mapping candidates the searches have generated so far and what
+// fraction the branch-and-bound pruning discarded before full evaluation.
+// Returns "" until the first search generates candidates.
+func (e *Evaluator) pruneNote() string {
+	gen := e.searchCtrs.Generated.Value()
+	if gen == 0 {
+		return ""
+	}
+	pruned := e.searchCtrs.BoundPruned.Value() + e.searchCtrs.StagePruned.Value()
+	return fmt.Sprintf("%d candidates, %.1f%% pruned", gen, 100*float64(pruned)/float64(gen))
 }
 
 // recordPanic counts a recovered panic and preserves its value and stack in
@@ -251,6 +304,16 @@ func normalize(cfg mapper.Config) mapper.Config {
 	if cfg.KeepTop <= 0 {
 		cfg.KeepTop = 8
 	}
+	return cfg
+}
+
+// cacheCfg strips the Config fields that cannot affect search results — the
+// intra-layer worker count and the counter sink — so they never fragment the
+// memoization key: a 1-worker and an 8-worker search of the same space share
+// one cache entry (the parallel search is result-identical by construction).
+func cacheCfg(cfg mapper.Config) mapper.Config {
+	cfg.Workers = 0
+	cfg.Counters = nil
 	return cfg
 }
 
@@ -282,7 +345,7 @@ func (e *Evaluator) SearchAll(ctx context.Context, l workload.Layer, hw hardware
 		return nil, err
 	}
 	cfg = normalize(cfg)
-	key := searchKey{shape: ShapeOf(l), hw: HWOf(hw), cfg: cfg}
+	key := searchKey{shape: ShapeOf(l), hw: HWOf(hw), cfg: cacheCfg(cfg)}
 	e.lookups.Add(1)
 
 	for {
@@ -409,6 +472,9 @@ func (e *Evaluator) searchAttempt(ctx context.Context, l workload.Layer, hw hard
 		if err := faults.InjectContext(ctx, "engine.search", op); err != nil {
 			ch <- outcome{err: err}
 			return
+		}
+		if cfg.Counters == nil {
+			cfg.Counters = e.searchCtrs
 		}
 		stop := e.reg.Span("engine.search")
 		opts := mapper.SearchAll(l, hw, e.cm, cfg)
@@ -590,6 +656,7 @@ func (e *Evaluator) EvalSweep(ctx context.Context, models []workload.Model, hws 
 	cfg = normalize(cfg)
 	pts := make([]SweepPoint, len(hws))
 	track := obs.NewTracker(e.sink, "sweep", len(hws))
+	track.SetNote(e.pruneNote)
 	sig := modelsSig(models)
 	jrn := e.cfg.Journal
 	err := ParallelFor(ctx, len(hws), e.cfg.Workers, func(i int) error {

@@ -2,9 +2,9 @@ package engine
 
 import (
 	"context"
-	"runtime"
 	"runtime/debug"
-	"sync"
+
+	"nnbaton/internal/par"
 )
 
 // safeCall runs f(i) with panic isolation: a panicking body returns a
@@ -32,65 +32,13 @@ func safeCall(f func(int) error, i int) (err error) {
 // crashing the process.
 //
 // It subsumes the former dse.parallelFor and is the single fan-out primitive
-// of the evaluation engine; nesting is safe because the engine bounds actual
-// search computation with its own semaphore, never this goroutine count.
+// of the evaluation engine; the pool mechanics live in internal/par (shared
+// with the mapper's intra-layer shard search), while this wrapper converts
+// body panics into the engine's richer *PanicError before par can see them.
+// Nesting is safe because the engine bounds actual search computation with
+// its own semaphore, never this goroutine count.
 func ParallelFor(ctx context.Context, n, workers int, f func(int) error) error {
-	if n <= 0 {
-		return ctx.Err()
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	workers = min(workers, n)
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if err := safeCall(f, i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	var (
-		wg       sync.WaitGroup
-		next     = make(chan int)
-		stop     = make(chan struct{})
-		errOnce  sync.Once
-		firstErr error
-	)
-	fail := func(err error) {
-		errOnce.Do(func() {
-			firstErr = err
-			close(stop)
-		})
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := safeCall(f, i); err != nil {
-					fail(err)
-					return
-				}
-			}
-		}()
-	}
-dispatch:
-	for i := 0; i < n; i++ {
-		select {
-		case next <- i:
-		case <-stop:
-			break dispatch
-		case <-ctx.Done():
-			fail(ctx.Err())
-			break dispatch
-		}
-	}
-	close(next)
-	wg.Wait()
-	return firstErr
+	return par.ParallelFor(ctx, n, workers, func(i int) error {
+		return safeCall(f, i)
+	})
 }

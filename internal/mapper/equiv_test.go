@@ -1,0 +1,217 @@
+package mapper
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nnbaton/internal/hardware"
+	"nnbaton/internal/obs"
+	"nnbaton/internal/workload"
+)
+
+// layerShape is the deduplication key of the model zoo: layers that agree on
+// it search identical mapping spaces.
+type layerShape struct {
+	HO, WO, CO, CI, R, S, StrideH, StrideW, PadH, PadW, Groups int
+}
+
+func shapeOf(l workload.Layer) layerShape {
+	return layerShape{l.HO, l.WO, l.CO, l.CI, l.R, l.S, l.StrideH, l.StrideW, l.PadH, l.PadW, l.Groups}
+}
+
+// uniqueZooLayers returns one representative per distinct layer shape across
+// the whole model zoo at the given input resolution.
+func uniqueZooLayers(resolution int) []workload.Layer {
+	seen := make(map[layerShape]bool)
+	var out []workload.Layer
+	for _, m := range workload.Models(resolution) {
+		for _, l := range m.Layers {
+			k := shapeOf(l)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// requireSameOptions asserts two option lists agree on scores and mappings.
+func requireSameOptions(t *testing.T, ctx string, want, got []Option, obj Objective) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: got %d options, want %d", ctx, len(got), len(want))
+	}
+	for i := range want {
+		if want[i].Analysis.Map != got[i].Analysis.Map {
+			t.Fatalf("%s: option %d mapping mismatch:\n got %+v\nwant %+v",
+				ctx, i, got[i].Analysis.Map, want[i].Analysis.Map)
+		}
+		if want[i].Energy != got[i].Energy {
+			t.Fatalf("%s: option %d energy mismatch: got %+v want %+v", ctx, i, got[i].Energy, want[i].Energy)
+		}
+		if want[i].Cycles != got[i].Cycles {
+			t.Fatalf("%s: option %d cycles mismatch: got %d want %d", ctx, i, got[i].Cycles, want[i].Cycles)
+		}
+		if score(want[i], obj) != score(got[i], obj) {
+			t.Fatalf("%s: option %d score mismatch", ctx, i)
+		}
+	}
+}
+
+// TestSearchAllMatchesExhaustiveZoo holds the pruned, parallel SearchAll to
+// the exhaustive reference over every distinct layer shape of the model zoo
+// at the case-study hardware point.
+func TestSearchAllMatchesExhaustiveZoo(t *testing.T) {
+	hw := hardware.CaseStudy()
+	cm := hardware.MustCostModel()
+	layers := uniqueZooLayers(224)
+	if testing.Short() {
+		layers = layers[:min(12, len(layers))]
+	}
+	cfg := Config{Objective: MinEnergy, KeepTop: 8}
+	for _, l := range layers {
+		want := SearchExhaustive(l, hw, cm, cfg)
+		got := SearchAll(l, hw, cm, cfg)
+		requireSameOptions(t, l.Model+"/"+l.Name, want, got, cfg.Objective)
+	}
+}
+
+// randomHW perturbs the case-study point into a Table II-style variant.
+func randomHW(rng *rand.Rand) hardware.Config {
+	hw := hardware.CaseStudy()
+	hw.Chiplets = []int{1, 2, 4, 6, 8}[rng.Intn(5)]
+	hw.Cores = []int{4, 8, 16}[rng.Intn(3)]
+	hw.Lanes = []int{4, 8, 16}[rng.Intn(3)]
+	hw.Vector = []int{8, 16}[rng.Intn(2)]
+	scale := []int{1, 2, 4}[rng.Intn(3)]
+	hw.OL1Bytes *= scale
+	hw.AL1Bytes *= scale
+	hw.WL1Bytes *= scale
+	hw.AL2Bytes *= scale
+	hw.OL2Bytes *= scale
+	return hw
+}
+
+// TestSearchAllMatchesExhaustiveRandomized fuzzes the equivalence across
+// hardware points, objectives, KeepTop values, rotation settings and worker
+// counts with a fixed seed.
+func TestSearchAllMatchesExhaustiveRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	cm := hardware.MustCostModel()
+	layers := uniqueZooLayers(64)
+	trials := 24
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		l := layers[rng.Intn(len(layers))]
+		hw := randomHW(rng)
+		if hw.Validate() != nil {
+			continue
+		}
+		cfg := Config{
+			Objective:       []Objective{MinEnergy, MinEDP}[rng.Intn(2)],
+			KeepTop:         []int{1, 3, 8}[rng.Intn(3)],
+			DisableRotation: rng.Intn(4) == 0,
+			Workers:         []int{0, 1, 2, 5}[rng.Intn(4)],
+		}
+		ctx := fmt.Sprintf("trial %d: %s/%s on %s cfg=%+v", trial, l.Model, l.Name, hw.Tuple(), cfg)
+		want := SearchExhaustive(l, hw, cm, cfg)
+		got := SearchAll(l, hw, cm, cfg)
+		requireSameOptions(t, ctx, want, got, cfg.Objective)
+	}
+}
+
+// TestSearchAllWorkersInvariant pins the worker-count independence: the
+// deterministic merge must make 1-worker and many-worker searches agree
+// option for option.
+func TestSearchAllWorkersInvariant(t *testing.T) {
+	hw := hardware.CaseStudy()
+	cm := hardware.MustCostModel()
+	l := workload.ResNet50(224).Layers[10]
+	cfg := Config{Objective: MinEDP, KeepTop: 8, Workers: 1}
+	serial := SearchAll(l, hw, cm, cfg)
+	for _, w := range []int{2, 3, 8} {
+		cfg.Workers = w
+		requireSameOptions(t, fmt.Sprintf("workers=%d", w), serial, SearchAll(l, hw, cm, cfg), cfg.Objective)
+	}
+}
+
+// TestSearchCountersConsistent checks the funnel accounting: every generated
+// candidate lands in exactly one outcome bucket, and "generated" equals the
+// number of candidates the exhaustive search evaluates.
+func TestSearchCountersConsistent(t *testing.T) {
+	hw := hardware.CaseStudy()
+	cm := hardware.MustCostModel()
+	for _, l := range []workload.Layer{
+		workload.ResNet50(224).Layers[10],
+		workload.MobileNetV2(224).Layers[4],
+	} {
+		ctr := &Counters{
+			Generated:   &obs.Counter{},
+			BoundPruned: &obs.Counter{},
+			StagePruned: &obs.Counter{},
+			Evaluated:   &obs.Counter{},
+		}
+		cfg := Config{Objective: MinEnergy, KeepTop: 8, Counters: ctr}
+		SearchAll(l, hw, cm, cfg)
+
+		gen := ctr.Generated.Value()
+		sum := ctr.BoundPruned.Value() + ctr.StagePruned.Value() + ctr.Evaluated.Value()
+		if gen == 0 {
+			t.Fatalf("%s: no candidates generated", l.Name)
+		}
+		if gen != sum {
+			t.Fatalf("%s: generated=%d != bound+stage+evaluated=%d", l.Name, gen, sum)
+		}
+
+		var exhaustive int64
+		enumerate(l, hw, cm, cfg, func(Option) { exhaustive++ })
+		if gen != exhaustive {
+			t.Fatalf("%s: generated=%d, exhaustive evaluates %d", l.Name, gen, exhaustive)
+		}
+		if ctr.BoundPruned.Value() == 0 && ctr.StagePruned.Value() == 0 {
+			t.Logf("%s: note: nothing pruned (gen=%d)", l.Name, gen)
+		}
+	}
+}
+
+// TestBestPerSpatialComboMatchesExhaustive compares the pruned Fig 11 helper
+// against a direct enumerate-based reference with the same deterministic
+// tie-break.
+func TestBestPerSpatialComboMatchesExhaustive(t *testing.T) {
+	hw := hardware.CaseStudy()
+	cm := hardware.MustCostModel()
+	l := workload.ResNet50(224).Layers[10]
+
+	want := make(map[string]Option)
+	ref := make(map[string]*topK)
+	enumerate(l, hw, cm, Config{Objective: MinEnergy, KeepTop: 1}, func(o Option) {
+		k := o.SpatialCombo()
+		if ref[k] == nil {
+			ref[k] = newTopK(1, MinEnergy)
+		}
+		ref[k].add(o, score(o, MinEnergy))
+	})
+	for k, tk := range ref {
+		want[k] = tk.opts[0]
+	}
+
+	got := BestPerSpatialCombo(l, hw, cm)
+	if len(got) != len(want) {
+		t.Fatalf("combo count mismatch: got %d want %d", len(got), len(want))
+	}
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok {
+			t.Fatalf("combo %s missing", k)
+		}
+		if g.Analysis.Map != w.Analysis.Map || g.Energy != w.Energy || g.Cycles != w.Cycles {
+			t.Fatalf("combo %s mismatch:\n got %+v e=%v c=%d\nwant %+v e=%v c=%d",
+				k, g.Analysis.Map, g.Energy.Total(), g.Cycles, w.Analysis.Map, w.Energy.Total(), w.Cycles)
+		}
+	}
+}

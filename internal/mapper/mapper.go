@@ -7,7 +7,6 @@ package mapper
 
 import (
 	"fmt"
-	"sort"
 
 	"nnbaton/internal/c3p"
 	"nnbaton/internal/energy"
@@ -185,42 +184,45 @@ type Config struct {
 	// Rotate controls the rotating-transfer primitive (default on for
 	// multichip packages; disable for the ablation study).
 	DisableRotation bool
+	// Workers bounds the intra-layer shard parallelism of SearchAll
+	// (<=0 means GOMAXPROCS; 1 forces the serial path). Any value yields
+	// identical results.
+	Workers int
+	// Counters, when non-nil, receives the search funnel tallies
+	// (generated / bound-pruned / stage-pruned / evaluated candidates).
+	Counters *Counters
 }
 
 // Search returns the optimal mapping option for one layer, or an error if no
 // valid mapping exists.
 func Search(l workload.Layer, hw hardware.Config, cm *hardware.CostModel, cfg Config) (Option, error) {
-	opts := SearchAll(l, hw, cm, Config{Objective: cfg.Objective, KeepTop: 1, DisableRotation: cfg.DisableRotation})
+	cfg.KeepTop = 1
+	opts := SearchAll(l, hw, cm, cfg)
 	if len(opts) == 0 {
 		return Option{}, fmt.Errorf("mapper: no valid mapping for %s on %s", l.String(), hw.Tuple())
 	}
 	return opts[0], nil
 }
 
-// enumerate walks the mapping space, evaluating every valid candidate
-// through the C³P engine and the runtime simulator, and yields each option.
-func enumerate(l workload.Layer, hw hardware.Config, cm *hardware.CostModel, cfg Config, yield func(Option)) {
+// subtree is one (package split, chiplet split) shard of the mapping space —
+// the unit of work the parallel search distributes across workers. The
+// post-package-split region extents are precomputed so shards are
+// self-contained.
+type subtree struct {
+	ps            packageSplit
+	cs            chipletSplit
+	hop, wop, cop int // region after the package split
+	rotate        bool
+}
+
+// subtrees materializes every shard of the mapping space for a layer,
+// skipping package splits the layer geometry rules out (the same rejects the
+// exhaustive loop applies). Its order is the canonical enumeration order.
+func subtrees(l workload.Layer, hw hardware.Config, cfg Config) []subtree {
 	rotate := hw.Chiplets > 1 && !cfg.DisableRotation
-
-	consider := func(m mapping.Mapping) {
-		a, err := c3p.Analyze(l, hw, m)
-		if err != nil {
-			return
-		}
-		tr := a.Traffic()
-		br := energy.FromTraffic(tr, hw, cm)
-		res, err := sim.SimulateTraffic(a, tr)
-		if err != nil {
-			return
-		}
-		yield(Option{Analysis: a, Energy: br, Cycles: res.Cycles})
-	}
-
+	css := chipletSplits(hw)
+	var out []subtree
 	for _, ps := range packageSplits(hw) {
-		base := mapping.Mapping{
-			PackageSpatial: ps.kind, PackagePattern: ps.pattern, Rotate: rotate,
-		}
-		// Region after the package split.
 		hop, wop, cop := l.HO, l.WO, l.CO
 		if ps.kind == mapping.SpatialC {
 			if l.CO < hw.Chiplets {
@@ -234,49 +236,103 @@ func enumerate(l workload.Layer, hw hardware.Config, cm *hardware.CostModel, cfg
 			hop = ceilDiv(l.HO, ps.pattern.Rows)
 			wop = ceilDiv(l.WO, ps.pattern.Cols)
 		}
-		for _, cs := range chipletSplits(hw) {
-			for _, cot := range tileCandidates(cop, cop) {
-				if cot < cs.csplit {
-					continue
-				}
-				for _, pp := range planarPairs(hop, wop) {
-					hot, wot := pp[0], pp[1]
-					if cs.pattern.Rows > hot || cs.pattern.Cols > wot {
-						continue
-					}
-					hs, ws := ceilDiv(hot, cs.pattern.Rows), ceilDiv(wot, cs.pattern.Cols)
-					for _, cp := range coreTilePairs(l, hw, hs, ws) {
-						// Temporal orders only matter when both the channel
-						// and a planar loop of that level have trips > 1;
-						// degenerate levels evaluate a single order.
-						probe := base
-						probe.ChipletSpatial, probe.ChipletCSplit, probe.ChipletPattern = cs.kind, cs.csplit, cs.pattern
-						probe.COt, probe.HOt, probe.WOt = cot, hot, wot
-						probe.HOc, probe.WOc = cp[0], cp[1]
-						sh := probe.Shape(l, hw)
-						pkgOrders := temporalChoices(sh.C1, sh.H1*sh.W1)
-						chipOrders := temporalChoices(sh.C2, sh.H2*sh.W2)
-						for _, pt := range pkgOrders {
-							for _, ct := range chipOrders {
-								m := probe
-								m.PackageTemporal, m.ChipletTemporal = pt, ct
-								consider(m)
-							}
-						}
-					}
-				}
+		for _, cs := range css {
+			out = append(out, subtree{ps: ps, cs: cs, hop: hop, wop: wop, cop: cop, rotate: rotate})
+		}
+	}
+	return out
+}
+
+// walk yields every temporal-free probe mapping of the subtree. The tile
+// generators are hoisted to the outermost level they depend on — cot
+// candidates depend only on the region, core tiles only on the planar pair —
+// so the inner loop touches no maps and performs no allocation. Both the
+// pruned search and the exhaustive reference enumerate through this one
+// walker, which is what guarantees they see identical candidate sets.
+func (st subtree) walk(l workload.Layer, hw hardware.Config, yield func(probe mapping.Mapping)) {
+	base := mapping.Mapping{
+		PackageSpatial: st.ps.kind, PackagePattern: st.ps.pattern, Rotate: st.rotate,
+		ChipletSpatial: st.cs.kind, ChipletCSplit: st.cs.csplit, ChipletPattern: st.cs.pattern,
+	}
+	cots := tileCandidates(st.cop, st.cop)
+	for _, pp := range planarPairs(st.hop, st.wop) {
+		hot, wot := pp[0], pp[1]
+		if st.cs.pattern.Rows > hot || st.cs.pattern.Cols > wot {
+			continue
+		}
+		hs, ws := ceilDiv(hot, st.cs.pattern.Rows), ceilDiv(wot, st.cs.pattern.Cols)
+		cps := coreTilePairs(l, hw, hs, ws)
+		for _, cot := range cots {
+			if cot < st.cs.csplit {
+				continue
+			}
+			for _, cp := range cps {
+				probe := base
+				probe.COt, probe.HOt, probe.WOt = cot, hot, wot
+				probe.HOc, probe.WOc = cp[0], cp[1]
+				yield(probe)
 			}
 		}
 	}
 }
 
+// forEachTemporal expands a probe into its live temporal-order variants.
+// Every other mapping property — feasibility, shape, the admissible lower
+// bound — is temporal-invariant, so callers check those once per probe.
+func forEachTemporal(probe mapping.Mapping, sh mapping.Shape, yield func(mapping.Mapping)) {
+	for _, pt := range temporalChoices(sh.C1, sh.H1*sh.W1) {
+		for _, ct := range temporalChoices(sh.C2, sh.H2*sh.W2) {
+			m := probe
+			m.PackageTemporal, m.ChipletTemporal = pt, ct
+			yield(m)
+		}
+	}
+}
+
+// temporalVariants counts the mappings forEachTemporal yields for a shape.
+func temporalVariants(sh mapping.Shape) int64 {
+	n := int64(len(temporalChoices(sh.C1, sh.H1*sh.W1)))
+	return n * int64(len(temporalChoices(sh.C2, sh.H2*sh.W2)))
+}
+
+// enumerate walks the mapping space, evaluating every valid candidate
+// through the C³P engine and the runtime simulator, and yields each option.
+// It shares the subtree walker with the pruned search.
+func enumerate(l workload.Layer, hw hardware.Config, cm *hardware.CostModel, cfg Config, yield func(Option)) {
+	consider := func(m mapping.Mapping) {
+		a, err := c3p.Analyze(l, hw, m)
+		if err != nil {
+			return
+		}
+		tr := a.Traffic()
+		br := energy.FromTraffic(tr, hw, cm)
+		res, err := sim.SimulateTraffic(a, tr)
+		if err != nil {
+			return
+		}
+		yield(Option{Analysis: a, Energy: br, Cycles: res.Cycles})
+	}
+	for _, st := range subtrees(l, hw, cfg) {
+		st.walk(l, hw, func(probe mapping.Mapping) {
+			forEachTemporal(probe, probe.Shape(l, hw), consider)
+		})
+	}
+}
+
+// Temporal-order menus, shared as package-level backing arrays so
+// temporalChoices is allocation-free.
+var (
+	bothOrders  = [...]mapping.Temporal{mapping.ChannelPriority, mapping.PlanePriority}
+	channelOnly = [...]mapping.Temporal{mapping.ChannelPriority}
+)
+
 // temporalChoices returns both loop orders when a level has live channel and
 // planar loops, and a single order otherwise (the nest is order-invariant).
 func temporalChoices(cTrips, planarTrips int) []mapping.Temporal {
 	if cTrips > 1 && planarTrips > 1 {
-		return []mapping.Temporal{mapping.ChannelPriority, mapping.PlanePriority}
+		return bothOrders[:]
 	}
-	return []mapping.Temporal{mapping.ChannelPriority}
+	return channelOnly[:]
 }
 
 // score returns the objective value of an option.
@@ -287,42 +343,20 @@ func score(o Option, obj Objective) float64 {
 	return o.Energy.Total()
 }
 
-// SearchAll exhaustively evaluates the mapping space and returns the best
-// KeepTop options sorted by the objective. The top-K set is maintained
-// online so the full candidate stream is never materialized.
-func SearchAll(l workload.Layer, hw hardware.Config, cm *hardware.CostModel, cfg Config) []Option {
+// SearchExhaustive evaluates every candidate of the mapping space — no
+// pruning, no parallelism, no scratch reuse — and returns the best KeepTop
+// options in the same deterministic (score, mapping.Compare) order as
+// SearchAll. It is the reference implementation the randomized equivalence
+// tests hold SearchAll to, and the baseline of the search benchmarks.
+func SearchExhaustive(l workload.Layer, hw hardware.Config, cm *hardware.CostModel, cfg Config) []Option {
 	if cfg.KeepTop <= 0 {
 		cfg.KeepTop = 8
 	}
-	var top []Option
+	top := newTopK(cfg.KeepTop, cfg.Objective)
 	enumerate(l, hw, cm, cfg, func(o Option) {
-		s := score(o, cfg.Objective)
-		i := sort.Search(len(top), func(i int) bool { return score(top[i], cfg.Objective) > s })
-		if i >= cfg.KeepTop {
-			return
-		}
-		top = append(top, Option{})
-		copy(top[i+1:], top[i:])
-		top[i] = o
-		if len(top) > cfg.KeepTop {
-			top = top[:cfg.KeepTop]
-		}
+		top.add(o, score(o, cfg.Objective))
 	})
-	return top
-}
-
-// BestPerSpatialCombo returns the best option for each (package, chiplet)
-// spatial pair — the bars of Fig 11. Combos with no valid mapping are
-// omitted (e.g. (C,C) on layers with too few output channels).
-func BestPerSpatialCombo(l workload.Layer, hw hardware.Config, cm *hardware.CostModel) map[string]Option {
-	best := make(map[string]Option)
-	enumerate(l, hw, cm, Config{}, func(o Option) {
-		k := o.SpatialCombo()
-		if cur, ok := best[k]; !ok || o.Energy.Total() < cur.Energy.Total() {
-			best[k] = o
-		}
-	})
-	return best
+	return top.opts
 }
 
 // ModelResult aggregates the optimal per-layer mappings over a whole model.

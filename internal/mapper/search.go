@@ -1,0 +1,420 @@
+package mapper
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"nnbaton/internal/c3p"
+	"nnbaton/internal/energy"
+	"nnbaton/internal/hardware"
+	"nnbaton/internal/mapping"
+	"nnbaton/internal/noc"
+	"nnbaton/internal/obs"
+	"nnbaton/internal/par"
+	"nnbaton/internal/sim"
+	"nnbaton/internal/workload"
+)
+
+// Counters receives the search funnel tallies of SearchAll. Each candidate
+// (probe × temporal order) lands in exactly one of the three outcome buckets,
+// so Generated = BoundPruned + StagePruned + Evaluated always holds. The
+// counters are nil-safe; a zero Counters simply discards the tallies.
+type Counters struct {
+	// Generated counts feasible candidates entering the evaluation funnel —
+	// exactly the candidates the exhaustive search would evaluate.
+	Generated *obs.Counter
+	// BoundPruned counts candidates skipped by the admissible lower bound
+	// before any C³P analysis ran.
+	BoundPruned *obs.Counter
+	// StagePruned counts candidates dropped after traffic/energy evaluation
+	// but before the runtime simulator ran.
+	StagePruned *obs.Counter
+	// Evaluated counts candidates that went through the full pipeline
+	// including simulation.
+	Evaluated *obs.Counter
+}
+
+// tally is the per-worker, allocation-free accumulator behind Counters.
+type tally struct {
+	generated, boundPruned, stagePruned, evaluated int64
+}
+
+func (t *tally) add(o tally) {
+	t.generated += o.generated
+	t.boundPruned += o.boundPruned
+	t.stagePruned += o.stagePruned
+	t.evaluated += o.evaluated
+}
+
+func (c *Counters) flush(t tally) {
+	if c == nil {
+		return
+	}
+	c.Generated.Add(t.generated)
+	c.BoundPruned.Add(t.boundPruned)
+	c.StagePruned.Add(t.stagePruned)
+	c.Evaluated.Add(t.evaluated)
+}
+
+// topK maintains the best k options in ascending (score, mapping.Compare)
+// order. The secondary key makes the retained set — and its order — a pure
+// function of the candidate set: evaluation order, worker count and pruning
+// cannot change which of two equal-scoring mappings survives.
+type topK struct {
+	k      int
+	obj    Objective
+	opts   []Option
+	scores []float64
+}
+
+func newTopK(k int, obj Objective) *topK {
+	return &topK{k: k, obj: obj, opts: make([]Option, 0, k), scores: make([]float64, 0, k)}
+}
+
+// pos returns the insertion index of (s, m) in the retained order.
+func (t *topK) pos(s float64, m mapping.Mapping) int {
+	return sort.Search(len(t.opts), func(i int) bool {
+		if t.scores[i] != s {
+			return t.scores[i] > s
+		}
+		return mapping.Compare(t.opts[i].Analysis.Map, m) > 0
+	})
+}
+
+// worst returns the k-th best score, or +Inf while the set is not yet full.
+// Any candidate whose score lower bound strictly exceeds it cannot enter the
+// set; equal scores still can, through the Compare tie-break.
+func (t *topK) worst() float64 {
+	if len(t.opts) < t.k {
+		return math.Inf(1)
+	}
+	return t.scores[len(t.scores)-1]
+}
+
+// wouldAccept reports whether add would retain the candidate.
+func (t *topK) wouldAccept(s float64, m mapping.Mapping) bool {
+	return len(t.opts) < t.k || t.pos(s, m) < t.k
+}
+
+// add inserts the candidate, evicting the current worst when full.
+func (t *topK) add(o Option, s float64) {
+	i := t.pos(s, o.Analysis.Map)
+	if i >= t.k {
+		return
+	}
+	if len(t.opts) < t.k {
+		t.opts = append(t.opts, Option{})
+		t.scores = append(t.scores, 0)
+	}
+	copy(t.opts[i+1:], t.opts[i:])
+	copy(t.scores[i+1:], t.scores[i:])
+	t.opts[i] = o
+	t.scores[i] = s
+}
+
+// sharedBound is the cross-worker incumbent threshold: the smallest "k-th
+// best score" any worker has published so far. Workers fold it into their
+// local pruning threshold so a strong incumbent found in one shard prunes
+// every other shard. Lowering is a lock-free CAS-min; the bound only ever
+// decreases, so a stale read is merely conservative, never unsound.
+type sharedBound struct{ bits atomic.Uint64 }
+
+func newSharedBound() *sharedBound {
+	b := &sharedBound{}
+	b.bits.Store(math.Float64bits(math.Inf(1)))
+	return b
+}
+
+func (b *sharedBound) load() float64 { return math.Float64frombits(b.bits.Load()) }
+
+func (b *sharedBound) update(v float64) {
+	for {
+		old := b.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// searchState is one worker's private scratch: the C³P analysis and its
+// buffers, the interconnect models (per worker because the simulator writes
+// the crossbar's bandwidth share), and the funnel tally. Reusing it across
+// every candidate a worker evaluates is what takes the steady-state search to
+// near-zero allocations per candidate.
+type searchState struct {
+	sc    c3p.Scratch
+	a     c3p.Analysis
+	ring  *noc.Ring
+	xbar  *noc.Crossbar
+	tally tally
+}
+
+// init builds the interconnect models; SearchAll has already rejected
+// geometries they cannot represent.
+func (ws *searchState) init(hw hardware.Config) {
+	ws.ring, _ = noc.NewRing(hw.Chiplets)
+	ws.xbar, _ = noc.NewCrossbar(hw.Chiplets)
+}
+
+// lowerBound prices a probe's best case for the active objective: the C³P
+// traffic floor (intrinsic fills, exact fixed terms) through the energy
+// model and, for EDP, the compute-bound runtime. Both models are monotone in
+// their traffic/cycle inputs and the floor under-counts nothing negative, so
+// the true score of every temporal variant of the probe is ≥ this value —
+// the admissibility property the pruning relies on. See DESIGN.md.
+func lowerBound(l workload.Layer, hw hardware.Config, cm *hardware.CostModel,
+	m mapping.Mapping, sh mapping.Shape, obj Objective) float64 {
+	e := energy.FromTraffic(c3p.TrafficFloor(l, hw, m, sh), hw, cm).Total()
+	if obj == MinEDP {
+		e *= hardware.Seconds(sim.ComputeBoundCyclesOf(l, hw, m, sh))
+	}
+	return e
+}
+
+// search carries the per-search immutable inputs shared by all workers.
+type search struct {
+	l   workload.Layer
+	hw  hardware.Config
+	cm  *hardware.CostModel
+	cfg Config
+}
+
+// runSubtree evaluates one shard of the mapping space through the staged
+// pipeline — feasibility → admissible bound → C³P traffic/energy → simulator
+// — inserting survivors into dest. Feasibility, shape and the bound are
+// temporal-invariant, so they run once per probe and cover every temporal
+// variant. Pruning compares bounds strictly (>): an exact tie with the
+// threshold must still be evaluated because the Compare tie-break could
+// admit it.
+func (s *search) runSubtree(st subtree, ws *searchState, dest *topK, shared *sharedBound) {
+	l, hw, cm, obj := s.l, s.hw, s.cm, s.cfg.Objective
+	st.walk(l, hw, func(probe mapping.Mapping) {
+		if !probe.Feasible(l, hw) {
+			return
+		}
+		sh := probe.Shape(l, hw)
+		pts := temporalChoices(sh.C1, sh.H1*sh.W1)
+		cts := temporalChoices(sh.C2, sh.H2*sh.W2)
+		nvar := int64(len(pts)) * int64(len(cts))
+		ws.tally.generated += nvar
+		thresh := min(dest.worst(), shared.load())
+		if lowerBound(l, hw, cm, probe, sh, obj) > thresh {
+			ws.tally.boundPruned += nvar
+			return
+		}
+		for _, pt := range pts {
+			for _, ct := range cts {
+				m := probe
+				m.PackageTemporal, m.ChipletTemporal = pt, ct
+				c3p.AnalyzeInto(&ws.a, &ws.sc, l, hw, m)
+				tr := ws.a.Traffic()
+				br := energy.FromTraffic(tr, hw, cm)
+				// Stage prune: the exact energy is known before the
+				// simulator runs; for EDP, pair it with the compute-bound
+				// runtime — still a lower bound on the final score.
+				stage := br.Total()
+				if obj == MinEDP {
+					stage *= hardware.Seconds(sim.ComputeBoundCyclesOf(l, hw, m, sh))
+				}
+				thresh = min(dest.worst(), shared.load())
+				if stage > thresh {
+					ws.tally.stagePruned++
+					continue
+				}
+				res, err := sim.SimulateTrafficOn(ws.ring, ws.xbar, &ws.a, tr)
+				if err != nil {
+					ws.tally.stagePruned++
+					continue
+				}
+				ws.tally.evaluated++
+				o := Option{Analysis: &ws.a, Energy: br, Cycles: res.Cycles}
+				sc := score(o, obj)
+				if dest.wouldAccept(sc, m) {
+					// Detach the analysis from the worker scratch only for
+					// the few candidates that actually enter the top-K.
+					o.Analysis = ws.a.Clone()
+					dest.add(o, sc)
+					if w := dest.worst(); !math.IsInf(w, 1) {
+						shared.update(w)
+					}
+				}
+			}
+		}
+	})
+}
+
+// resolveWorkers mirrors par's worker resolution so per-worker state can be
+// sized before dispatch.
+func resolveWorkers(cfg, n int) int {
+	if cfg <= 0 {
+		cfg = runtime.GOMAXPROCS(0)
+	}
+	return min(cfg, n)
+}
+
+// rethrowPanics re-raises a worker panic that par converted into an error, so
+// a panicking cost model surfaces to SearchAll's caller exactly as it does on
+// the serial path (the engine's recovery then wraps it into its structured
+// PanicError). Any other error is impossible: the context is never cancelled
+// and worker bodies return nil.
+func rethrowPanics(err error) {
+	var pe *par.PanicError
+	if errors.As(err, &pe) {
+		panic(pe.Value)
+	}
+}
+
+// SearchAll evaluates the mapping space and returns the best KeepTop options
+// sorted by the objective (ties broken by mapping.Compare). It is
+// result-identical to SearchExhaustive — enforced by randomized equivalence
+// tests — but prunes with admissible lower bounds, stages the evaluation
+// pipeline so the simulator only runs for survivors, shards the space across
+// Workers goroutines with a shared incumbent bound, and reuses per-worker
+// scratch so the steady-state candidate path does not allocate.
+func SearchAll(l workload.Layer, hw hardware.Config, cm *hardware.CostModel, cfg Config) []Option {
+	if cfg.KeepTop <= 0 {
+		cfg.KeepTop = 8
+	}
+	// The exhaustive path rejects invalid layers, hardware and interconnect
+	// geometries per candidate; the pruned path rejects them once up front
+	// (Feasible and the hoisted ring/crossbar models assume validity).
+	if l.Validate() != nil || hw.Validate() != nil {
+		return nil
+	}
+	if _, err := noc.NewRing(hw.Chiplets); err != nil {
+		return nil
+	}
+	if _, err := noc.NewCrossbar(hw.Chiplets); err != nil {
+		return nil
+	}
+	sts := subtrees(l, hw, cfg)
+	if len(sts) == 0 {
+		return nil
+	}
+	workers := resolveWorkers(cfg.Workers, len(sts))
+	states := make([]searchState, workers)
+	tops := make([]*topK, workers)
+	for i := range states {
+		states[i].init(hw)
+		tops[i] = newTopK(cfg.KeepTop, cfg.Objective)
+	}
+	srch := &search{l: l, hw: hw, cm: cm, cfg: cfg}
+	shared := newSharedBound()
+	err := par.ParallelForWorker(context.Background(), len(sts), workers, func(w, i int) error {
+		srch.runSubtree(sts[i], &states[w], tops[w], shared)
+		return nil
+	})
+	if err != nil {
+		rethrowPanics(err)
+		return nil
+	}
+	var t tally
+	for i := range states {
+		t.add(states[i].tally)
+	}
+	cfg.Counters.flush(t)
+
+	// Deterministic merge: every global top-K candidate survives in its
+	// worker's local top-K (fewer than K candidates beat it anywhere, so in
+	// particular within its own shard), and the (score, Compare) order is a
+	// strict total order over the distinct candidate mappings — so re-ranking
+	// the union reproduces the exhaustive result regardless of how the work
+	// was split.
+	if workers == 1 {
+		return tops[0].opts
+	}
+	merged := newTopK(cfg.KeepTop, cfg.Objective)
+	for _, t := range tops {
+		for j, o := range t.opts {
+			merged.add(o, t.scores[j])
+		}
+	}
+	return merged.opts
+}
+
+// comboIndex maps a (package, chiplet) spatial pair to a dense index for
+// BestPerSpatialCombo's per-combo incumbents.
+func comboIndex(pkg, chip mapping.Spatial) int {
+	p := 0
+	if pkg == mapping.SpatialP {
+		p = 1
+	}
+	c := 2 // SpatialH
+	switch chip {
+	case mapping.SpatialC:
+		c = 0
+	case mapping.SpatialP:
+		c = 1
+	}
+	return p*3 + c
+}
+
+const numCombos = 6
+
+// BestPerSpatialCombo returns the best (minimum-energy) option for each
+// (package, chiplet) spatial pair — the bars of Fig 11. Combos with no valid
+// mapping are omitted (e.g. (C,C) on layers with too few output channels).
+// Each combo keeps its own incumbent bound, so the pruning a strong combo
+// enjoys never starves a weak combo of its bar.
+func BestPerSpatialCombo(l workload.Layer, hw hardware.Config, cm *hardware.CostModel) map[string]Option {
+	best := make(map[string]Option)
+	cfg := Config{Objective: MinEnergy, KeepTop: 1}
+	if l.Validate() != nil || hw.Validate() != nil {
+		return best
+	}
+	if _, err := noc.NewRing(hw.Chiplets); err != nil {
+		return best
+	}
+	if _, err := noc.NewCrossbar(hw.Chiplets); err != nil {
+		return best
+	}
+	sts := subtrees(l, hw, cfg)
+	if len(sts) == 0 {
+		return best
+	}
+	workers := resolveWorkers(0, len(sts))
+	states := make([]searchState, workers)
+	tops := make([][numCombos]*topK, workers)
+	for i := range states {
+		states[i].init(hw)
+		for c := range tops[i] {
+			tops[i][c] = newTopK(1, MinEnergy)
+		}
+	}
+	var bounds [numCombos]*sharedBound
+	for c := range bounds {
+		bounds[c] = newSharedBound()
+	}
+	srch := &search{l: l, hw: hw, cm: cm, cfg: cfg}
+	err := par.ParallelForWorker(context.Background(), len(sts), workers, func(w, i int) error {
+		st := sts[i]
+		c := comboIndex(st.ps.kind, st.cs.kind)
+		srch.runSubtree(st, &states[w], tops[w][c], bounds[c])
+		return nil
+	})
+	if err != nil {
+		rethrowPanics(err)
+		return best
+	}
+	for c := 0; c < numCombos; c++ {
+		merged := newTopK(1, MinEnergy)
+		for w := range tops {
+			t := tops[w][c]
+			for j, o := range t.opts {
+				merged.add(o, t.scores[j])
+			}
+		}
+		if len(merged.opts) > 0 {
+			o := merged.opts[0]
+			best[o.SpatialCombo()] = o
+		}
+	}
+	return best
+}

@@ -1,0 +1,130 @@
+package mapping
+
+import (
+	"cmp"
+
+	"nnbaton/internal/hardware"
+	"nnbaton/internal/workload"
+)
+
+// Feasible reports whether the mapping passes every structural and buffer
+// constraint that Validate checks, without constructing error values — the
+// mapper's branch-and-bound search calls it once per probe, where the
+// fmt.Errorf allocations of Validate's reject paths would dominate the
+// profile. It assumes the layer and hardware configuration are themselves
+// valid (Validate re-checks those first); under that precondition
+// Feasible(l, hw) == (Validate(l, hw) == nil), a lockstep enforced by
+// TestFeasibleMatchesValidate.
+func (m Mapping) Feasible(l workload.Layer, hw hardware.Config) bool {
+	switch m.PackageSpatial {
+	case SpatialC:
+		if l.CO < hw.Chiplets {
+			return false
+		}
+	case SpatialP:
+		if m.PackagePattern.Parts() != hw.Chiplets ||
+			m.PackagePattern.Rows > l.HO || m.PackagePattern.Cols > l.WO {
+			return false
+		}
+	default:
+		return false
+	}
+	csplit, planar := m.ChipletCSplit, m.ChipletPattern.Parts()
+	switch m.ChipletSpatial {
+	case SpatialC:
+		if csplit != hw.Cores || planar != 1 {
+			return false
+		}
+	case SpatialP:
+		if csplit != 1 || planar != hw.Cores {
+			return false
+		}
+	case SpatialH:
+		if csplit <= 1 || csplit >= hw.Cores || csplit*planar != hw.Cores {
+			return false
+		}
+	default:
+		return false
+	}
+	s := m.Shape(l, hw)
+	switch {
+	case m.COt <= 0 || m.HOt <= 0 || m.WOt <= 0 || m.HOc <= 0 || m.WOc <= 0,
+		m.COt > s.COp || m.HOt > s.HOp || m.WOt > s.WOp,
+		m.HOc > s.HOs || m.WOc > s.WOs,
+		m.COt < csplit,
+		m.ChipletPattern.Rows > m.HOt || m.ChipletPattern.Cols > m.WOt:
+		return false
+	}
+	if m.Rotate && hw.Chiplets == 1 {
+		return false
+	}
+	if m.ol1Need(hw) > int64(hw.OL1Bytes) ||
+		m.al1Need(l, hw) > int64(hw.AL1Bytes) ||
+		m.wl1Need(l, hw) > int64(hw.WL1Bytes) ||
+		m.al2Need(l, hw) > int64(hw.AL2Bytes) {
+		return false
+	}
+	if m.Rotate && m.PackageSpatial == SpatialP &&
+		m.rotatingChunk(l, hw) > m.wl1Pool(hw, s) {
+		return false
+	}
+	return true
+}
+
+// Compare orders two mappings by a fixed lexicographic key over every field:
+// spatial primitives, patterns, temporal orders, tile sizes, rotation. It is
+// a strict total order on distinct mappings, which the mapper uses to break
+// exact objective-score ties deterministically — serial, parallel and pruned
+// searches then agree on the top-K set regardless of evaluation order.
+func Compare(a, b Mapping) int {
+	if c := cmp.Compare(a.PackageSpatial, b.PackageSpatial); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.PackagePattern.Rows, b.PackagePattern.Rows); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.PackagePattern.Cols, b.PackagePattern.Cols); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.PackageTemporal, b.PackageTemporal); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.ChipletSpatial, b.ChipletSpatial); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.ChipletCSplit, b.ChipletCSplit); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.ChipletPattern.Rows, b.ChipletPattern.Rows); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.ChipletPattern.Cols, b.ChipletPattern.Cols); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.ChipletTemporal, b.ChipletTemporal); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.COt, b.COt); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.HOt, b.HOt); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.WOt, b.WOt); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.HOc, b.HOc); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.WOc, b.WOc); c != 0 {
+		return c
+	}
+	return cmp.Compare(boolKey(a.Rotate), boolKey(b.Rotate))
+}
+
+func boolKey(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -27,6 +27,9 @@ type Progress struct {
 	// ETA is the projected remaining time (0 until at least one point is
 	// done).
 	ETA time.Duration
+	// Note is a free-form live annotation supplied via Tracker.SetNote
+	// (e.g. the engine's search-pruning rate), "" when unset.
+	Note string
 }
 
 // String renders the event as one status line.
@@ -47,6 +50,9 @@ func (p Progress) String() string {
 	}
 	if p.Done >= p.Total {
 		s += fmt.Sprintf(" in %s", p.Elapsed.Round(time.Millisecond))
+	}
+	if p.Note != "" {
+		s += " [" + p.Note + "]"
 	}
 	return s
 }
@@ -87,6 +93,7 @@ type Tracker struct {
 	failed    atomic.Int64
 	replayed  atomic.Int64
 	lastErr   atomic.Pointer[string]
+	note      atomic.Pointer[func() string]
 	lastEmit  atomic.Int64 // UnixNano of the last emitted event
 	minPeriod time.Duration
 }
@@ -102,6 +109,20 @@ func NewTracker(sink ProgressSink, stage string, total int) *Tracker {
 		return nil
 	}
 	return &Tracker{sink: sink, stage: stage, total: total, start: time.Now(), minPeriod: trackerPeriod}
+}
+
+// SetNote attaches a live annotation source: fn is called at each emitted
+// event and its result rendered on the status line (e.g. "pruned 91.2%").
+// fn must be safe for concurrent use; a nil fn clears the note.
+func (t *Tracker) SetNote(fn func() string) {
+	if t == nil {
+		return
+	}
+	if fn == nil {
+		t.note.Store(nil)
+		return
+	}
+	t.note.Store(&fn)
 }
 
 // Done records one completed point (failed when err != nil) and emits a
@@ -146,6 +167,10 @@ func (t *Tracker) snapshot(done int, now time.Time) Progress {
 	if p := t.lastErr.Load(); p != nil {
 		lastErr = *p
 	}
+	note := ""
+	if fn := t.note.Load(); fn != nil {
+		note = (*fn)()
+	}
 	return Progress{
 		Stage:    t.stage,
 		Done:     done,
@@ -155,5 +180,6 @@ func (t *Tracker) snapshot(done int, now time.Time) Progress {
 		LastErr:  lastErr,
 		Elapsed:  elapsed,
 		ETA:      eta,
+		Note:     note,
 	}
 }

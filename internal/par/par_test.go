@@ -1,0 +1,128 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		var hits [100]atomic.Int32
+		err := ParallelFor(context.Background(), len(hits), workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestParallelForWorkerIdentity(t *testing.T) {
+	const n, workers = 200, 4
+	var mu sync.Mutex
+	perWorker := map[int]int{}
+	err := ParallelForWorker(context.Background(), n, workers, func(w, i int) error {
+		if w < 0 || w >= workers {
+			t.Errorf("worker id %d out of range", w)
+		}
+		mu.Lock()
+		perWorker[w]++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range perWorker {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("ran %d bodies, want %d", total, n)
+	}
+}
+
+func TestParallelForSerialWorkerIsZero(t *testing.T) {
+	err := ParallelForWorker(context.Background(), 10, 1, func(w, i int) error {
+		if w != 0 {
+			t.Errorf("serial path passed worker %d", w)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelForFirstError(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := ParallelFor(context.Background(), 1000, workers, func(i int) error {
+			ran.Add(1)
+			if i == 3 {
+				return sentinel
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: got %v, want sentinel", workers, err)
+		}
+		if ran.Load() == 1000 {
+			t.Fatalf("workers=%d: error did not short-circuit dispatch", workers)
+		}
+	}
+}
+
+func TestParallelForPanicIsolation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ParallelFor(context.Background(), 50, workers, func(i int) error {
+			if i == 7 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: got %v, want *PanicError", workers, err)
+		}
+		if pe.Value != "kaboom" || len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: incomplete panic capture: %+v", workers, pe)
+		}
+	}
+}
+
+func TestParallelForCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ParallelFor(ctx, 10000, 2, func(i int) error {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ran.Load() == 10000 {
+		t.Fatal("cancellation did not stop dispatch")
+	}
+}
+
+func TestParallelForEmpty(t *testing.T) {
+	if err := ParallelFor(context.Background(), 0, 4, func(int) error {
+		t.Error("body ran for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

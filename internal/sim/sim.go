@@ -11,8 +11,10 @@ import (
 
 	"nnbaton/internal/c3p"
 	"nnbaton/internal/hardware"
+	"nnbaton/internal/mapping"
 	"nnbaton/internal/noc"
 	"nnbaton/internal/obs"
+	"nnbaton/internal/workload"
 )
 
 // Result reports the simulated execution of one layer.
@@ -54,7 +56,17 @@ func SimulateTraffic(a *c3p.Analysis, tr c3p.Traffic) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return SimulateTrafficOn(ring, xbar, a, tr)
+}
 
+// SimulateTrafficOn is SimulateTraffic with the interconnect models supplied
+// by the caller, for hot loops that evaluate many mappings against one
+// hardware configuration: constructing the ring and crossbar once per search
+// instead of once per candidate keeps the per-candidate path allocation-free.
+// The ring and crossbar must match a.HW.Chiplets. The crossbar's BytesPerCycle
+// is overwritten with the per-chiplet DRAM share.
+func SimulateTrafficOn(ring *noc.Ring, xbar *noc.Crossbar, a *c3p.Analysis, tr c3p.Traffic) (Result, error) {
+	hw := a.HW
 	s := a.Shape
 	l := a.Layer
 	positions := s.PackagePositions()
@@ -111,8 +123,17 @@ func SimulateTraffic(a *c3p.Analysis, tr c3p.Traffic) (Result, error) {
 // mapping — the runtime with infinite bandwidth. Used as a sanity reference
 // and by the mapper's fast runtime estimate.
 func ComputeBoundCycles(a *c3p.Analysis) int64 {
-	l, hw, s := a.Layer, a.HW, a.Shape
+	return ComputeBoundCyclesOf(a.Layer, a.HW, a.Map, a.Shape)
+}
+
+// ComputeBoundCyclesOf is ComputeBoundCycles without an Analysis: the compute
+// bound depends only on the mapping geometry, so the mapper's branch-and-bound
+// search can price a candidate's best-case runtime before running C³P. It is a
+// true lower bound on SimulateTraffic's total for the same mapping: the
+// simulated total is loadPerPos + positions×max(compute, load) ≥
+// positions×computePerPos, which is exactly this product.
+func ComputeBoundCyclesOf(l workload.Layer, hw hardware.Config, m mapping.Mapping, s mapping.Shape) int64 {
 	ciSteps := (int64(l.CIPerGroup()) + int64(hw.Vector) - 1) / int64(hw.Vector)
 	return s.PackagePositions() * s.ChipletPositions() *
-		int64(a.Map.HOc) * int64(a.Map.WOc) * int64(l.R) * int64(l.S) * ciSteps
+		int64(m.HOc) * int64(m.WOc) * int64(l.R) * int64(l.S) * ciSteps
 }
