@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench benchall bench-smoke vet race fuzz chaos check equiv
+.PHONY: build test bench benchall bench-smoke vet race fuzz chaos check equiv lint degradation
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,23 @@ equiv:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs staticcheck when it is installed (CI installs it; locally it is
+# optional) on top of go vet. `go run`-ing the tool would add a dependency to
+# go.mod, so the binary is looked up on PATH instead.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# degradation runs the yield-aware robustness gate: ring rerouting identities,
+# fault-mask canonicalization, degraded-search equivalence, scenario sweep
+# determinism and kill/resume round trips, all under the race detector.
+degradation:
+	$(GO) test -race -count=1 -run 'TestNewRingUnder|TestRingDegenerate|TestFaultMask|TestParseFaultMask|TestDegrade|TestEnvelope|TestYield|TestSearchAllMatchesExhaustiveDegraded|TestSearchDegradedCostsMore|TestEvalScenario|TestDegradationSweep|TestCacheKeyFaultSeparation|TestCacheFaultErrorEviction|TestScenarioPointKey' \
+		./internal/noc ./internal/hardware ./internal/mapper ./internal/faults ./internal/engine
 
 race:
 	$(GO) test -race ./...

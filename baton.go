@@ -32,11 +32,13 @@ import (
 	"nnbaton/internal/energy"
 	"nnbaton/internal/engine"
 	"nnbaton/internal/fab"
+	"nnbaton/internal/faults"
 	"nnbaton/internal/hardware"
 	"nnbaton/internal/mapper"
 	"nnbaton/internal/mapping"
 	"nnbaton/internal/obs"
 	"nnbaton/internal/pipeline"
+	"nnbaton/internal/report"
 	"nnbaton/internal/simba"
 	"nnbaton/internal/workload"
 )
@@ -383,3 +385,74 @@ func (b *Baton) GranularitySet(models []Model, totalMACs int, areaLimitMM2 float
 
 // ChipletAreaMM2 returns the modeled silicon area of one chiplet.
 func (b *Baton) ChipletAreaMM2(hw Hardware) float64 { return b.cm.ChipletAreaMM2(hw) }
+
+// Fault-scenario re-exports: the yield-aware degraded-fabric flow.
+type (
+	// FaultMask is a canonical, comparable description of a degraded package
+	// (dead chiplets, dead cores, binned lanes, binned clock). The zero
+	// value is the healthy identity.
+	FaultMask = hardware.FaultMask
+	// ScenarioPoint is the evaluation of a model set on one degraded fabric.
+	ScenarioPoint = engine.ScenarioPoint
+	// YieldModel turns per-die defect probabilities and a seed into
+	// deterministic fault-mask series (internal/faults).
+	YieldModel = faults.YieldModel
+)
+
+// ParseFault parses the textual fault-spec grammar ("chiplet2,cores3@1,
+// lanes1@0,freq90%" or "healthy") against a configuration and returns the
+// canonical mask.
+func ParseFault(spec string, hw Hardware) (FaultMask, error) {
+	return hardware.ParseFaultMask(spec, hw)
+}
+
+// DefaultYield returns the reference yield model of the degradation
+// experiments for a seed.
+func DefaultYield(seed int64) YieldModel { return faults.DefaultYield(seed) }
+
+// MapModelDegraded runs the post-design flow on a degraded fabric: the mask
+// is validated against the hardware, the surviving fabric's uniform
+// envelopes are each searched, and the best envelope wins. The zero mask is
+// result-identical to MapModel.
+func (b *Baton) MapModelDegraded(ctx context.Context, m Model, hw Hardware, mask FaultMask) (ScenarioPoint, error) {
+	pt := b.eng.EvalScenario(ctx, []Model{m}, hw, mask, mapper.Config{})
+	if pt.Err != nil {
+		return pt, pt.Err
+	}
+	return pt, nil
+}
+
+// DegradationSweep evaluates a model across an escalating fault series on
+// one base configuration — the graceful-degradation curve. The result is
+// indexed by the input series and byte-identical across worker counts; with
+// a checkpoint journal configured, completed scenarios replay on resume.
+func (b *Baton) DegradationSweep(ctx context.Context, m Model, hw Hardware, masks []FaultMask) ([]ScenarioPoint, error) {
+	return b.eng.DegradationSweep(ctx, []Model{m}, hw, masks, mapper.Config{})
+}
+
+// DegradationRows converts scenario points to degradation-curve table rows
+// (report.DegradationCurve renders them).
+func DegradationRows(pts []ScenarioPoint) []report.DegradationRow {
+	rows := make([]report.DegradationRow, len(pts))
+	for i, pt := range pts {
+		r := report.DegradationRow{
+			Scenario:    pt.Mask.String(),
+			FailedUnits: pt.FailedUnits,
+			Alive:       pt.Alive,
+			MACs:        pt.TotalMACs,
+		}
+		if pt.Err != nil {
+			r.Err = pt.Err.Error()
+		} else {
+			r.Envelope = pt.Envelope.Tuple()
+			if !pt.EnvMask.IsZero() {
+				r.Envelope += " (rerouted)"
+			}
+			r.EnergyPJ = pt.Energy
+			r.Seconds = pt.Seconds
+			r.EDPPJs = pt.EDP()
+		}
+		rows[i] = r
+	}
+	return rows
+}

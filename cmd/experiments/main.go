@@ -30,6 +30,14 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "journal completed sweep points to this JSONL file (crash-safe)")
 	resume := flag.Bool("resume", false, "replay points already journaled in the -checkpoint file instead of re-evaluating them")
 	flag.Parse()
+	if *timeout < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -timeout must be non-negative, got %v\n", *timeout)
+		os.Exit(2)
+	}
+	if *retries < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -retries must be non-negative, got %d\n", *retries)
+		os.Exit(2)
+	}
 
 	var reg *obs.Registry
 	if *metrics != "" {

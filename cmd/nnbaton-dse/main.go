@@ -39,6 +39,29 @@ type options struct {
 	retries    int
 	checkpoint string
 	resume     bool
+	degrade    int
+	faultSeed  int64
+}
+
+// validate rejects nonsense flag values before any work starts, so the
+// process fails on line one instead of deep inside a sweep.
+func (o options) validate() error {
+	if o.timeout < 0 {
+		return fmt.Errorf("-timeout must be non-negative, got %v", o.timeout)
+	}
+	if o.retries < 0 {
+		return fmt.Errorf("-retries must be non-negative, got %d", o.retries)
+	}
+	if o.degrade < 0 {
+		return fmt.Errorf("-degradation must be non-negative, got %d", o.degrade)
+	}
+	if o.degrade > 0 && o.mode != "granularity" {
+		return fmt.Errorf("-degradation requires -mode granularity (it degrades the recommended point)")
+	}
+	if o.resume && o.checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	return nil
 }
 
 func main() {
@@ -56,7 +79,13 @@ func main() {
 	flag.IntVar(&o.retries, "retries", 0, "max re-attempts after a retryable point failure (panic, deadline, transient)")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "journal completed sweep points to this JSONL file (crash-safe)")
 	flag.BoolVar(&o.resume, "resume", false, "replay points already journaled in the -checkpoint file instead of re-evaluating them")
+	flag.IntVar(&o.degrade, "degradation", 0, "with -mode granularity: follow up with an N-step graceful-degradation sweep of the recommended point")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for the -degradation yield series")
 	flag.Parse()
+	if err := o.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "nnbaton-dse:", err)
+		os.Exit(2)
+	}
 	// Sweeps can run for minutes; Ctrl-C cancels the evaluation engine's
 	// workers cleanly instead of killing the process mid-write.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -128,7 +157,7 @@ func run(ctx context.Context, o options) error {
 	macs, area := o.macs, o.area
 	switch o.mode {
 	case "granularity":
-		return granularity(ctx, tool, m, macs, area)
+		return granularity(ctx, tool, m, o)
 	case "explore":
 		return explore(ctx, tool, m, macs, area)
 	case "cost":
@@ -163,7 +192,8 @@ func cost(ctx context.Context, tool *nnbaton.Baton, m nnbaton.Model, macs int, a
 	return t.Render(os.Stdout)
 }
 
-func granularity(ctx context.Context, tool *nnbaton.Baton, m nnbaton.Model, macs int, area float64) error {
+func granularity(ctx context.Context, tool *nnbaton.Baton, m nnbaton.Model, o options) error {
+	macs, area := o.macs, o.area
 	res, err := tool.GranularityContext(ctx, m, nnbaton.TableIISpace(), macs, area)
 	if err != nil {
 		return err
@@ -182,12 +212,35 @@ func granularity(ctx context.Context, tool *nnbaton.Baton, m nnbaton.Model, macs
 	if err := t.Render(os.Stdout); err != nil {
 		return err
 	}
-	if best, ok := res.BestEDP(); ok {
-		fmt.Printf("recommended: %s (%s)\n", best.HW.Tuple(), best)
-	} else {
+	best, ok := res.BestEDP()
+	if !ok {
 		fmt.Println("no implementation meets the area constraint")
+		return nil
+	}
+	fmt.Printf("recommended: %s (%s)\n", best.HW.Tuple(), best)
+	if o.degrade > 0 {
+		return degradation(ctx, tool, m, best.HW, o)
 	}
 	return nil
+}
+
+// degradation answers the yield question for the recommended design point:
+// how gracefully does it degrade as fabrication defects accumulate? A seeded
+// yield model generates an escalating fault series; every scenario reroutes
+// the ring around dead dies and remaps the model onto the surviving fabric.
+func degradation(ctx context.Context, tool *nnbaton.Baton, m nnbaton.Model, hw nnbaton.Hardware, o options) error {
+	series, err := nnbaton.DefaultYield(o.faultSeed).Series(hw, o.degrade)
+	if err != nil {
+		return err
+	}
+	pts, err := tool.DegradationSweep(ctx, m, hw, series)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	return report.DegradationCurve(
+		fmt.Sprintf("Graceful degradation of %s on %s (seed %d)", m.Name, hw.Tuple(), o.faultSeed),
+		nnbaton.DegradationRows(pts)).Render(os.Stdout)
 }
 
 func explore(ctx context.Context, tool *nnbaton.Baton, m nnbaton.Model, macs int, area float64) error {

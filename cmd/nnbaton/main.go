@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +49,28 @@ type options struct {
 	pprofAddr string
 	timeout   time.Duration
 	retries   int
+	faults    string
+}
+
+// validate rejects nonsense flag values before any work starts, so the
+// process fails on line one instead of deep inside a sweep.
+func (o options) validate() error {
+	if o.timeout < 0 {
+		return fmt.Errorf("-timeout must be non-negative, got %v", o.timeout)
+	}
+	if o.retries < 0 {
+		return fmt.Errorf("-retries must be non-negative, got %d", o.retries)
+	}
+	if o.res <= 0 {
+		return fmt.Errorf("-res must be positive, got %d", o.res)
+	}
+	if o.faults != "" && o.layer != "" {
+		return fmt.Errorf("-faults evaluates the whole model; drop -layer")
+	}
+	if o.faults != "" && o.out != "" {
+		return fmt.Errorf("-faults does not export strategy files; drop -o")
+	}
+	return nil
 }
 
 func main() {
@@ -68,7 +91,12 @@ func main() {
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.DurationVar(&o.timeout, "timeout", 0, "per-layer search deadline (e.g. 30s); 0 disables")
 	flag.IntVar(&o.retries, "retries", 0, "max re-attempts after a retryable search failure (panic, deadline, transient)")
+	flag.StringVar(&o.faults, "faults", "", "map onto a degraded fabric: fault spec like 'chiplet2,cores3@1,freq90%' (see ParseFault)")
 	flag.Parse()
+	if err := o.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "nnbaton:", err)
+		os.Exit(2)
+	}
 	if o.pprofAddr != "" {
 		addr, err := obs.ServePprof(o.pprofAddr)
 		if err != nil {
@@ -138,6 +166,12 @@ func run(o options) error {
 	if err := hw.Validate(); err != nil {
 		return err
 	}
+	var mask nnbaton.FaultMask
+	if o.faults != "" {
+		if mask, err = nnbaton.ParseFault(o.faults, hw); err != nil {
+			return err
+		}
+	}
 	var reg *obs.Registry
 	if o.metrics != "" {
 		reg = obs.NewRegistry()
@@ -158,6 +192,9 @@ func run(o options) error {
 	fmt.Printf("hardware: %s  (chiplet area %.2f mm²)\n\n", hw, tool.ChipletAreaMM2(hw))
 	if o.stats {
 		defer func() { fmt.Fprintln(os.Stderr, tool.EngineStats()) }()
+	}
+	if o.faults != "" {
+		return runDegraded(tool, m, hw, mask)
 	}
 
 	if o.layer != "" {
@@ -228,6 +265,33 @@ func run(o options) error {
 		fmt.Printf("Simba baseline: %.2f mJ — NN-Baton saves %s\n",
 			cmp.Simba.Total()/1e9, report.Pct(cmp.SavingsRatio))
 	}
+	return nil
+}
+
+// runDegraded maps the model onto the fabric that survives the fault mask:
+// the ring reroutes around dead chiplets and the mapper picks the best
+// surviving uniform envelope (yield-aware post-design flow).
+func runDegraded(tool *nnbaton.Baton, m workload.Model, hw nnbaton.Hardware, mask nnbaton.FaultMask) error {
+	pt, err := tool.MapModelDegraded(context.Background(), m, hw, mask)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fault scenario: %s — %d/%d chiplets alive, %d of %d MACs surviving (%d failed units)\n",
+		pt.Mask, pt.Alive, hw.Chiplets, pt.TotalMACs, hw.TotalMACs(), pt.FailedUnits)
+	env := pt.Envelope.Tuple()
+	if !pt.EnvMask.IsZero() {
+		env += " (ring rerouted)"
+	}
+	fmt.Printf("mapped envelope: %s\n\n", env)
+	for _, ev := range pt.Evals {
+		fmt.Printf("%s @ %dx%d: %d layers mapped, %.2f mJ, %s ms",
+			m.Name, m.Resolution, m.Resolution, ev.Mapped, ev.Energy.Total()/1e9, report.MS(pt.Seconds))
+		if len(ev.Skipped) > 0 {
+			fmt.Printf("  (skipped: %s)", strings.Join(ev.Skipped, ","))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("EDP: %.4g pJ*s\n", pt.EDP())
 	return nil
 }
 

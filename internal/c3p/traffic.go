@@ -61,6 +61,29 @@ func (t Traffic) DRAMBytes() int64 { return t.DRAMActReads + t.DRAMWtReads + t.D
 // D2DBytes returns total die-to-die traffic.
 func (t Traffic) D2DBytes() int64 { return t.D2DActs + t.D2DWts + t.D2DPsums + t.D2DOutput }
 
+// ScaleD2D returns the traffic with the die-to-die components scaled by the
+// exact rational num/den (ceil division, so the result stays an upper bound
+// on the true byte count and is exact when den divides the component). Used
+// to convert logical ring traffic to physical link traffic on a degraded
+// fabric where each logical hop averages num/den physical links
+// (noc.Ring.D2DScale); num == den is the identity.
+func (t Traffic) ScaleD2D(num, den int64) Traffic {
+	if num == den || den <= 0 {
+		return t
+	}
+	ceil := func(v int64) int64 {
+		if v <= 0 {
+			return v
+		}
+		return (v*num + den - 1) / den
+	}
+	t.D2DActs = ceil(t.D2DActs)
+	t.D2DWts = ceil(t.D2DWts)
+	t.D2DPsums = ceil(t.D2DPsums)
+	t.D2DOutput = ceil(t.D2DOutput)
+	return t
+}
+
 // Analysis is the C³P evaluation of one (layer, hardware, mapping) triple.
 // The buffer-size-dependent components are retained as FillAnalysis step
 // functions so the memory design space can be swept without re-analyzing.

@@ -1,8 +1,10 @@
 package ckpt
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -109,6 +111,99 @@ func TestJournalTornTailSkipped(t *testing.T) {
 	raw, ok := j3.Lookup("b")
 	if !ok || string(raw) != `{"n":3,"s":""}` {
 		t.Fatalf("later record must win: ok=%v raw=%s", ok, raw)
+	}
+}
+
+// TestJournalCrashTruncationSweep simulates a crash at every possible byte
+// offset of the journal file. For each cut, resume must recover exactly the
+// whole records before the cut, and a subsequent append must leave the file
+// byte-identical to the whole-record prefix plus the new line — the torn
+// bytes are physically removed, never concatenated onto fresh records.
+func TestJournalCrashTruncationSweep(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.jsonl")
+	j, err := Open(base, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"a", "b", "c"}
+	for i, k := range keys {
+		if err := j.Append(k, val{N: i + 1, S: strings.Repeat(k, 5)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bounds[r] is the byte offset just past record r's newline.
+	var bounds []int
+	for off, b := range data {
+		if b == '\n' {
+			bounds = append(bounds, off+1)
+		}
+	}
+	if len(bounds) != len(keys) {
+		t.Fatalf("found %d record boundaries, want %d", len(bounds), len(keys))
+	}
+	appendedLine := `{"key":"z","value":{"n":99,"s":""}}` + "\n"
+	for cut := 0; cut <= len(data); cut++ {
+		path := filepath.Join(dir, fmt.Sprintf("cut%d.jsonl", cut))
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		whole := 0
+		for _, b := range bounds {
+			if cut >= b {
+				whole++
+			}
+		}
+		j2, err := Open(path, true)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if j2.Len() != whole {
+			t.Errorf("cut %d: recovered %d records, want %d", cut, j2.Len(), whole)
+		}
+		wantTorn := 0
+		if cut > 0 && (whole == 0 || cut > bounds[whole-1]) {
+			wantTorn = 1
+		}
+		if j2.Torn() != wantTorn {
+			t.Errorf("cut %d: torn=%d, want %d", cut, j2.Torn(), wantTorn)
+		}
+		for r, k := range keys {
+			if _, ok := j2.Lookup(k); ok != (r < whole) {
+				t.Errorf("cut %d: lookup %q = %v, want %v", cut, k, ok, r < whole)
+			}
+		}
+		if err := j2.Append("z", val{N: 99}); err != nil {
+			t.Fatalf("cut %d: append after torn resume: %v", cut, err)
+		}
+		j2.Close()
+		prefix := 0
+		if whole > 0 {
+			prefix = bounds[whole-1]
+		}
+		want := string(data[:prefix]) + appendedLine
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want {
+			t.Errorf("cut %d: file after append = %q, want %q", cut, got, want)
+		}
+		// A second resume sees a clean journal: no torn lines, every record.
+		j3, err := Open(path, true)
+		if err != nil {
+			t.Fatalf("cut %d: second resume: %v", cut, err)
+		}
+		if j3.Torn() != 0 || j3.Len() != whole+1 {
+			t.Errorf("cut %d: second resume torn=%d len=%d, want 0 and %d",
+				cut, j3.Torn(), j3.Len(), whole+1)
+		}
+		j3.Close()
 	}
 }
 

@@ -612,9 +612,15 @@ func modelsSig(models []workload.Model) string {
 
 // sweepPointKey is the checkpoint key of one sweep point: the model set, the
 // search configuration and the full hardware configuration, so a journal is
-// only ever replayed into the sweep that produced it.
+// only ever replayed into the sweep that produced it. A degraded-fabric
+// search config extends the key with the fault mask (healthy sweeps keep the
+// historical key shape, so pre-fault journals stay replayable).
 func sweepPointKey(sig string, cfg mapper.Config, hw hardware.Config) string {
-	return fmt.Sprintf("sweep|%s|obj%d-keep%d-rot%v|%s", sig, cfg.Objective, cfg.KeepTop, !cfg.DisableRotation, hw.String())
+	key := fmt.Sprintf("sweep|%s|obj%d-keep%d-rot%v|%s", sig, cfg.Objective, cfg.KeepTop, !cfg.DisableRotation, hw.String())
+	if !cfg.Fault.IsZero() {
+		key += "|fault:" + cfg.Fault.Key()
+	}
+	return key
 }
 
 // replaySweepPoint reconstructs a sweep point from its journal record.

@@ -15,6 +15,7 @@ import (
 	"nnbaton/internal/energy"
 	"nnbaton/internal/engine"
 	"nnbaton/internal/fab"
+	"nnbaton/internal/faults"
 	"nnbaton/internal/halo"
 	"nnbaton/internal/hardware"
 	"nnbaton/internal/mapper"
@@ -73,6 +74,7 @@ func All() []Experiment {
 		{"ext-cost", "Extension: manufacturing cost vs chiplet granularity (Murphy yield)", extCost},
 		{"ext-layout", "Extension: DRAM data layout vs crossbar conflicts", extLayout},
 		{"ext-mobilenet", "Extension: grouped-convolution mapping (MobileNetV2)", extMobileNet},
+		{"ext-degradation", "Extension: graceful degradation of ResNet-50 under a seeded yield series", extDegradation},
 	}
 }
 
@@ -533,4 +535,54 @@ func countGrouped(res mapper.ModelResult, grouped bool) int {
 		}
 	}
 	return n
+}
+
+// extDegradation reproduces the yield question the paper raises but never
+// quantifies: how gracefully does the Table II case-study point degrade as
+// fabrication defects accumulate? A seeded yield model generates an
+// escalating fault series on the 4-chiplet package; every scenario reroutes
+// the ring around dead dies, remaps ResNet-50 onto the surviving envelopes
+// and reports energy/runtime/EDP versus failed units. The healthy first row
+// is result-identical to the baseline post-design flow.
+func extDegradation(w io.Writer, quick bool) error {
+	hw := hardware.CaseStudy()
+	res := 224
+	steps := 8
+	if quick {
+		res = 64
+		steps = 4
+	}
+	m := workload.ResNet50(res)
+	series, err := faults.DefaultYield(20260806).Series(hw, steps)
+	if err != nil {
+		return err
+	}
+	pts, err := eng.DegradationSweep(context.Background(), []workload.Model{m}, hw, series, mapper.Config{})
+	if err != nil {
+		return err
+	}
+	rows := make([]report.DegradationRow, len(pts))
+	for i, pt := range pts {
+		r := report.DegradationRow{
+			Scenario:    pt.Mask.String(),
+			FailedUnits: pt.FailedUnits,
+			Alive:       pt.Alive,
+			MACs:        pt.TotalMACs,
+		}
+		if pt.Err != nil {
+			r.Err = pt.Err.Error()
+		} else {
+			r.Envelope = pt.Envelope.Tuple()
+			if !pt.EnvMask.IsZero() {
+				r.Envelope += " (rerouted)"
+			}
+			r.EnergyPJ = pt.Energy
+			r.Seconds = pt.Seconds
+			r.EDPPJs = pt.EDP()
+		}
+		rows[i] = r
+	}
+	return report.DegradationCurve(
+		fmt.Sprintf("Extension: ResNet-50@%d degradation curve on %s (seed 20260806)", res, hw.Tuple()),
+		rows).Render(w)
 }

@@ -1,0 +1,181 @@
+// Yield modeling: deterministic fault-scenario generation for the
+// graceful-degradation sweeps. A YieldModel turns per-die defect
+// probabilities and a seed into fault masks (hardware.FaultMask) — either a
+// single sampled package (Sample) or an escalating series (Series) whose
+// step k has exactly k more failed units than step k−1. Everything is driven
+// by a seeded math/rand source consumed in a fixed order, so a series is a
+// pure function of (seed, probabilities, configuration): byte-identical
+// across runs, worker counts and checkpoint resumes.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nnbaton/internal/hardware"
+)
+
+// YieldModel parameterizes the defect process of §I's yield argument: small
+// dies survive fabrication defects that kill monolithic ones.
+type YieldModel struct {
+	// Seed drives the deterministic random source.
+	Seed int64
+	// ChipletDefect is the probability a whole chiplet (its compute die) is
+	// defective; its D2D relay survives, so the ring reroutes around it.
+	ChipletDefect float64
+	// CoreDefect is the probability an individual core is defective.
+	CoreDefect float64
+}
+
+// DefaultYield is the reference yield model of the degradation experiments:
+// whole-die kills are rarer than single-core defects, matching the
+// small-die-wins intuition the paper builds on.
+func DefaultYield(seed int64) YieldModel {
+	return YieldModel{Seed: seed, ChipletDefect: 0.05, CoreDefect: 0.15}
+}
+
+// Validate rejects probabilities outside [0, 1).
+func (y YieldModel) Validate() error {
+	if y.ChipletDefect < 0 || y.ChipletDefect >= 1 {
+		return fmt.Errorf("faults: chiplet defect probability %v outside [0,1)", y.ChipletDefect)
+	}
+	if y.CoreDefect < 0 || y.CoreDefect >= 1 {
+		return fmt.Errorf("faults: core defect probability %v outside [0,1)", y.CoreDefect)
+	}
+	return nil
+}
+
+// Sample draws one degraded package: each chiplet is dead with probability
+// ChipletDefect, each core of a surviving chiplet dead with probability
+// CoreDefect, in fixed position order. A draw that kills every chiplet
+// resurrects the lowest position (a package with no survivor is not a
+// scenario, it is a discard — and keeping the draw deterministic matters
+// more than its tail fidelity). The returned mask is canonical.
+func (y YieldModel) Sample(hw hardware.Config) (hardware.FaultMask, error) {
+	if err := y.Validate(); err != nil {
+		return hardware.FaultMask{}, err
+	}
+	if err := hw.Validate(); err != nil {
+		return hardware.FaultMask{}, err
+	}
+	if hw.Chiplets > hardware.MaxChiplets {
+		return hardware.FaultMask{}, fmt.Errorf("faults: yield model supports at most %d chiplets, config has %d", hardware.MaxChiplets, hw.Chiplets)
+	}
+	rng := rand.New(rand.NewSource(y.Seed))
+	m := hardware.FaultMask{Chiplets: uint8(hw.Chiplets)}
+	for i := 0; i < hw.Chiplets; i++ {
+		if rng.Float64() < y.ChipletDefect {
+			m.Dead |= 1 << i
+			continue
+		}
+		dead := 0
+		for c := 0; c < hw.Cores && c < 255; c++ {
+			if rng.Float64() < y.CoreDefect {
+				dead++
+			}
+		}
+		m.DeadCores[i] = uint8(dead)
+	}
+	m = m.Canonical(hw)
+	if !m.IsZero() && m.Validate(hw) != nil {
+		// Every chiplet died: resurrect position 0.
+		m.Dead &^= 1
+		m.DeadCores[0] = 0
+		m = m.Canonical(hw)
+	}
+	return m, nil
+}
+
+// Series generates the escalating fault series of a degradation sweep:
+// steps+1 masks, the first healthy, each subsequent mask failing exactly one
+// more unit than its predecessor — a whole chiplet with probability
+// proportional to ChipletDefect, otherwise one core of a surviving chiplet,
+// victim positions drawn from the seeded source. The series ends early (with
+// fewer masks) once only one live core remains, so every returned mask
+// leaves a mappable fabric. Masks are canonical, and the surviving MAC count
+// strictly decreases along the series (FailedUnits is not strictly monotone:
+// the core kill that completes a chiplet canonicalizes the whole die to one
+// dead-chiplet unit).
+func (y YieldModel) Series(hw hardware.Config, steps int) ([]hardware.FaultMask, error) {
+	if err := y.Validate(); err != nil {
+		return nil, err
+	}
+	if err := hw.Validate(); err != nil {
+		return nil, err
+	}
+	if hw.Chiplets > hardware.MaxChiplets {
+		return nil, fmt.Errorf("faults: yield model supports at most %d chiplets, config has %d", hardware.MaxChiplets, hw.Chiplets)
+	}
+	if steps < 0 {
+		return nil, fmt.Errorf("faults: negative step count %d", steps)
+	}
+	rng := rand.New(rand.NewSource(y.Seed))
+	cur := hardware.FaultMask{Chiplets: uint8(hw.Chiplets)}
+	out := []hardware.FaultMask{{}}
+
+	deadChiplet := func(i int) bool { return cur.Dead&(1<<i) != 0 }
+	liveCores := func(i int) int {
+		if deadChiplet(i) {
+			return 0
+		}
+		return hw.Cores - int(cur.DeadCores[i])
+	}
+	for s := 0; s < steps; s++ {
+		totalLive := 0
+		aliveChiplets := 0
+		for i := 0; i < hw.Chiplets; i++ {
+			totalLive += liveCores(i)
+			if liveCores(i) > 0 {
+				aliveChiplets++
+			}
+		}
+		if totalLive <= 1 {
+			break // the last core must survive
+		}
+		// Choose the failure mode. A chiplet kill needs a second surviving
+		// chiplet; weight whole-die kills against single-core defects by the
+		// model's probabilities.
+		chipletWeight := y.ChipletDefect * float64(aliveChiplets)
+		coreWeight := y.CoreDefect * float64(totalLive)
+		killChiplet := false
+		if aliveChiplets > 1 && chipletWeight > 0 {
+			killChiplet = rng.Float64()*(chipletWeight+coreWeight) < chipletWeight
+		}
+		if killChiplet {
+			// Victim: the n-th surviving chiplet.
+			n := rng.Intn(aliveChiplets)
+			for i := 0; i < hw.Chiplets; i++ {
+				if liveCores(i) == 0 {
+					continue
+				}
+				if n == 0 {
+					cur.Dead |= 1 << i
+					cur.DeadCores[i] = 0
+					break
+				}
+				n--
+			}
+		} else {
+			// Victim: the n-th live core, skipping a chiplet's last core when
+			// it is also the package's only other survivor.
+			n := rng.Intn(totalLive)
+			for i := 0; i < hw.Chiplets; i++ {
+				lc := liveCores(i)
+				if lc == 0 {
+					continue
+				}
+				if n < lc {
+					cur.DeadCores[i]++
+					break
+				}
+				n -= lc
+			}
+		}
+		canon := cur.Canonical(hw)
+		if canon.Validate(hw) != nil {
+			break
+		}
+		out = append(out, canon)
+	}
+	return out, nil
+}

@@ -1,0 +1,146 @@
+package faults
+
+import (
+	"testing"
+
+	"nnbaton/internal/hardware"
+)
+
+func TestYieldSeriesDeterministic(t *testing.T) {
+	hw := hardware.CaseStudy()
+	y := DefaultYield(42)
+	a, err := y.Series(hw, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := y.Series(hw, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("series lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("step %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+	// A different seed must (for this configuration and length) diverge.
+	c, err := DefaultYield(43).Series(hw, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical 10-step series")
+	}
+}
+
+func TestYieldSeriesEscalates(t *testing.T) {
+	hw := hardware.CaseStudy()
+	series, err := DefaultYield(7).Series(hw, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) == 0 || !series[0].IsZero() {
+		t.Fatal("series must start with the healthy mask")
+	}
+	prevMACs := hw.TotalMACs() + 1
+	for i, m := range series {
+		if err := m.Validate(hw); err != nil {
+			t.Fatalf("step %d (%s): invalid mask: %v", i, m, err)
+		}
+		if m.Canonical(hw) != m {
+			t.Errorf("step %d (%s): mask not canonical", i, m)
+		}
+		f, err := hw.Degrade(m)
+		if err != nil {
+			t.Fatalf("step %d (%s): %v", i, m, err)
+		}
+		if f.TotalMACs() >= prevMACs {
+			t.Errorf("step %d (%s): %d MACs does not decrease from %d", i, m, f.TotalMACs(), prevMACs)
+		}
+		if f.TotalMACs() <= 0 || f.AliveChiplets() == 0 {
+			t.Errorf("step %d (%s): fabric not mappable (%d MACs, %d alive)", i, m, f.TotalMACs(), f.AliveChiplets())
+		}
+		prevMACs = f.TotalMACs()
+	}
+}
+
+func TestYieldSeriesExhaustsGracefully(t *testing.T) {
+	// Ask for more steps than the package has units: the series ends once a
+	// single core remains, never producing an unmappable mask.
+	hw := hardware.Config{Chiplets: 2, Cores: 2, Lanes: 2, Vector: 8}.
+		WithProportionalMemory(hardware.DefaultProportion())
+	series, err := DefaultYield(1).Series(hw, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) > 4 {
+		t.Fatalf("2x2-core package cannot lose more than 3 units, series has %d steps", len(series)-1)
+	}
+	last := series[len(series)-1]
+	f, err := hw.Degrade(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TotalMACs() <= 0 {
+		t.Error("final mask must leave live compute")
+	}
+}
+
+func TestYieldSample(t *testing.T) {
+	hw := hardware.CaseStudy()
+	y := YieldModel{Seed: 5, ChipletDefect: 0.3, CoreDefect: 0.3}
+	a, err := y.Sample(hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := y.Sample(hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("Sample not deterministic: %s vs %s", a, b)
+	}
+	if err := a.Validate(hw); !a.IsZero() && err != nil {
+		t.Errorf("sampled mask invalid: %v", err)
+	}
+	// Pathological probabilities still leave a survivor.
+	harsh := YieldModel{Seed: 5, ChipletDefect: 0.999, CoreDefect: 0.999}
+	m, err := harsh.Sample(hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := hw.Degrade(m)
+	if err != nil {
+		t.Fatalf("harsh sample %s: %v", m, err)
+	}
+	if f.AliveChiplets() == 0 {
+		t.Error("harsh sample left no survivor")
+	}
+}
+
+func TestYieldValidation(t *testing.T) {
+	hw := hardware.CaseStudy()
+	if _, err := (YieldModel{ChipletDefect: 1.0}).Series(hw, 3); err == nil {
+		t.Error("defect probability 1.0 must be rejected")
+	}
+	if _, err := (YieldModel{CoreDefect: -0.1}).Series(hw, 3); err == nil {
+		t.Error("negative probability must be rejected")
+	}
+	if _, err := DefaultYield(1).Series(hw, -1); err == nil {
+		t.Error("negative step count must be rejected")
+	}
+	if _, err := DefaultYield(1).Series(hardware.Config{}, 3); err == nil {
+		t.Error("invalid hardware must be rejected")
+	}
+}

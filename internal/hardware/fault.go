@@ -1,0 +1,419 @@
+// Fault modeling: the yield story behind chiplets (§I-II — small dies
+// survive fabrication defects that kill monolithic ones) made quantitative.
+// A FaultMask describes a degraded package — dead chiplets, dead cores,
+// binned-down lanes and a binned package clock — and Config.Degrade produces
+// the effective fabric the orchestrator can still map onto. The mask is a
+// pure comparable value so the evaluation engine can key its memoization
+// cache on (shape, hardware, mask) without ever aliasing healthy and
+// degraded results.
+package hardware
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MaxChiplets is the largest package the fault model (and the directional
+// ring, see internal/noc) supports. Matches the Table II space.
+const MaxChiplets = 8
+
+// FaultMask is a canonical, comparable description of a degraded package.
+// The zero value means "perfectly healthy" and degrades to the identity
+// fabric. Masks are comparable with ==, usable as map keys, and
+// JSON-round-trippable, which the engine's cache keying and the checkpoint
+// journal both rely on.
+type FaultMask struct {
+	// Chiplets is the number of physical ring positions the mask describes.
+	// 0 only on the zero (healthy) mask.
+	Chiplets uint8 `json:"chiplets,omitempty"`
+	// Dead is a bitmask over physical chiplet positions: bit i set means
+	// chiplet i's compute is dead. Its D2D relay is assumed to survive (or be
+	// bypassed by package lanes), so the ring reroutes around it at a
+	// hop-count and energy cost rather than breaking.
+	Dead uint8 `json:"dead,omitempty"`
+	// DeadCores[i] is the number of defective cores on surviving chiplet i.
+	DeadCores [MaxChiplets]uint8 `json:"deadCores,omitempty"`
+	// BinnedLanes[i] is the number of vector-MAC lanes fused off on every
+	// surviving core of chiplet i (speed/yield binning).
+	BinnedLanes [MaxChiplets]uint8 `json:"binnedLanes,omitempty"`
+	// FreqTenths derates the package clock in tenths of the nominal
+	// frequency: 0 = nominal, 3 = 70 %. Binning is package-wide (the ring
+	// synchronizes every chiplet to one clock).
+	FreqTenths uint8 `json:"freqTenths,omitempty"`
+}
+
+// IsZero reports whether the mask is the healthy identity mask.
+func (m FaultMask) IsZero() bool { return m == FaultMask{} }
+
+// FreqScale returns the clock derate factor in (0, 1].
+func (m FaultMask) FreqScale() float64 {
+	if m.FreqTenths >= 10 {
+		return 0.1
+	}
+	return float64(10-m.FreqTenths) / 10
+}
+
+// DeadChipletCount returns how many chiplet positions are marked dead.
+func (m FaultMask) DeadChipletCount() int {
+	n := 0
+	for i := 0; i < int(m.Chiplets); i++ {
+		if m.Dead&(1<<i) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// FailedUnits counts the degraded hardware units the mask describes — dead
+// chiplets, dead cores on surviving chiplets, and binned lane groups — the
+// x-axis of a degradation curve.
+func (m FaultMask) FailedUnits() int {
+	n := m.DeadChipletCount()
+	for i := 0; i < int(m.Chiplets); i++ {
+		if m.Dead&(1<<i) != 0 {
+			continue
+		}
+		n += int(m.DeadCores[i]) + int(m.BinnedLanes[i])
+	}
+	if m.FreqTenths > 0 {
+		n++
+	}
+	return n
+}
+
+// Validate reports an error when the mask cannot describe a degradation of
+// the configuration: wrong position count, dead bits past the package, more
+// dead cores or binned lanes than exist, every chiplet dead, or a derate
+// that stops the clock.
+func (m FaultMask) Validate(c Config) error {
+	if m.IsZero() {
+		return nil
+	}
+	if c.Chiplets > MaxChiplets {
+		return fmt.Errorf("hardware: fault model supports at most %d chiplets, config has %d", MaxChiplets, c.Chiplets)
+	}
+	if int(m.Chiplets) != c.Chiplets {
+		return fmt.Errorf("hardware: fault mask describes %d chiplets, config has %d", m.Chiplets, c.Chiplets)
+	}
+	if m.Dead>>m.Chiplets != 0 {
+		return fmt.Errorf("hardware: dead-chiplet bits past position %d in %s", m.Chiplets-1, m)
+	}
+	if m.FreqTenths >= 10 {
+		return fmt.Errorf("hardware: frequency derate %d/10 stops the clock", m.FreqTenths)
+	}
+	alive := 0
+	for i := 0; i < int(m.Chiplets); i++ {
+		if int(m.DeadCores[i]) > c.Cores {
+			return fmt.Errorf("hardware: %d dead cores on chiplet %d, package has %d per chiplet", m.DeadCores[i], i, c.Cores)
+		}
+		if int(m.BinnedLanes[i]) >= c.Lanes {
+			return fmt.Errorf("hardware: %d binned lanes on chiplet %d leaves no lane of %d", m.BinnedLanes[i], i, c.Lanes)
+		}
+		if m.Dead&(1<<i) == 0 && int(m.DeadCores[i]) < c.Cores {
+			alive++
+		}
+	}
+	for i := int(m.Chiplets); i < MaxChiplets; i++ {
+		if m.DeadCores[i] != 0 || m.BinnedLanes[i] != 0 {
+			return fmt.Errorf("hardware: fault entries past position %d in %s", m.Chiplets-1, m)
+		}
+	}
+	if alive == 0 {
+		return fmt.Errorf("hardware: mask %s leaves no surviving chiplet", m)
+	}
+	return nil
+}
+
+// Canonical returns the unique canonical form of the mask on a
+// configuration: a chiplet with every core dead becomes a dead chiplet, dead
+// positions carry no per-chiplet entries, entries past the package are
+// zeroed, and a mask describing no degradation at all collapses to the zero
+// mask. Two masks that degrade a configuration identically canonicalize to
+// the same value, so cache keys and journal keys never split one scenario.
+func (m FaultMask) Canonical(c Config) FaultMask {
+	if m.IsZero() {
+		return m
+	}
+	m.Chiplets = uint8(min(c.Chiplets, MaxChiplets))
+	m.Dead &= (1 << m.Chiplets) - 1
+	for i := 0; i < MaxChiplets; i++ {
+		if i >= int(m.Chiplets) {
+			m.DeadCores[i], m.BinnedLanes[i] = 0, 0
+			continue
+		}
+		if int(m.DeadCores[i]) >= c.Cores {
+			m.Dead |= 1 << i
+		}
+		if m.Dead&(1<<i) != 0 {
+			m.DeadCores[i], m.BinnedLanes[i] = 0, 0
+		}
+	}
+	if m.Dead == 0 && m.DeadCores == [MaxChiplets]uint8{} &&
+		m.BinnedLanes == [MaxChiplets]uint8{} && m.FreqTenths == 0 {
+		return FaultMask{}
+	}
+	return m
+}
+
+// String renders the canonical textual form ParseFaultMask accepts:
+// "healthy" for the zero mask, else comma-joined terms like
+// "chiplet2,cores3@1,lanes1@0,freq90%".
+func (m FaultMask) String() string {
+	if m.IsZero() {
+		return "healthy"
+	}
+	var terms []string
+	for i := 0; i < int(m.Chiplets); i++ {
+		if m.Dead&(1<<i) != 0 {
+			terms = append(terms, fmt.Sprintf("chiplet%d", i))
+		}
+	}
+	for i := 0; i < int(m.Chiplets); i++ {
+		if m.DeadCores[i] > 0 {
+			terms = append(terms, fmt.Sprintf("cores%d@%d", m.DeadCores[i], i))
+		}
+	}
+	for i := 0; i < int(m.Chiplets); i++ {
+		if m.BinnedLanes[i] > 0 {
+			terms = append(terms, fmt.Sprintf("lanes%d@%d", m.BinnedLanes[i], i))
+		}
+	}
+	if m.FreqTenths > 0 {
+		terms = append(terms, fmt.Sprintf("freq%d%%", 100-10*int(m.FreqTenths)))
+	}
+	if len(terms) == 0 {
+		return "healthy"
+	}
+	return strings.Join(terms, ",")
+}
+
+// Key returns the canonical journal/cache key text of the mask.
+func (m FaultMask) Key() string { return m.String() }
+
+// ParseFaultMask parses the textual fault-spec grammar against a
+// configuration and returns the canonical mask. Grammar (comma-separated
+// terms, no spaces):
+//
+//	chiplet<N>      chiplet N is dead
+//	cores<C>@<N>    C dead cores on chiplet N
+//	lanes<C>@<N>    C lanes fused off per core on chiplet N
+//	freq<P>%        package clock binned to P percent (multiple of 10)
+//	healthy         the zero mask (no other terms allowed)
+//
+// Errors name the offending term, in the spirit of the model-description
+// parser's line-numbered errors.
+func ParseFaultMask(spec string, c Config) (FaultMask, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "healthy" {
+		return FaultMask{}, nil
+	}
+	if c.Chiplets > MaxChiplets {
+		return FaultMask{}, fmt.Errorf("hardware: fault model supports at most %d chiplets, config has %d", MaxChiplets, c.Chiplets)
+	}
+	m := FaultMask{Chiplets: uint8(c.Chiplets)}
+	at := func(term, body string) (count, pos int, err error) {
+		i := strings.IndexByte(body, '@')
+		if i < 0 {
+			return 0, 0, fmt.Errorf("hardware: fault term %q: want <count>@<chiplet>", term)
+		}
+		count, err = strconv.Atoi(body[:i])
+		if err != nil || count <= 0 {
+			return 0, 0, fmt.Errorf("hardware: fault term %q: count must be a positive integer", term)
+		}
+		pos, err = strconv.Atoi(body[i+1:])
+		if err != nil || pos < 0 || pos >= c.Chiplets {
+			return 0, 0, fmt.Errorf("hardware: fault term %q: chiplet index must be in [0,%d)", term, c.Chiplets)
+		}
+		return count, pos, nil
+	}
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		switch {
+		case term == "":
+			return FaultMask{}, fmt.Errorf("hardware: empty fault term in %q", spec)
+		case strings.HasPrefix(term, "chiplet"):
+			n, err := strconv.Atoi(term[len("chiplet"):])
+			if err != nil || n < 0 || n >= c.Chiplets {
+				return FaultMask{}, fmt.Errorf("hardware: fault term %q: chiplet index must be in [0,%d)", term, c.Chiplets)
+			}
+			m.Dead |= 1 << n
+		case strings.HasPrefix(term, "cores"):
+			count, pos, err := at(term, term[len("cores"):])
+			if err != nil {
+				return FaultMask{}, err
+			}
+			if count > c.Cores {
+				return FaultMask{}, fmt.Errorf("hardware: fault term %q: chiplet has only %d cores", term, c.Cores)
+			}
+			m.DeadCores[pos] = uint8(count)
+		case strings.HasPrefix(term, "lanes"):
+			count, pos, err := at(term, term[len("lanes"):])
+			if err != nil {
+				return FaultMask{}, err
+			}
+			if count >= c.Lanes {
+				return FaultMask{}, fmt.Errorf("hardware: fault term %q: binning %d of %d lanes leaves no lane", term, count, c.Lanes)
+			}
+			m.BinnedLanes[pos] = uint8(count)
+		case strings.HasPrefix(term, "freq") && strings.HasSuffix(term, "%"):
+			p, err := strconv.Atoi(term[len("freq") : len(term)-1])
+			if err != nil || p <= 0 || p > 100 || p%10 != 0 {
+				return FaultMask{}, fmt.Errorf("hardware: fault term %q: percent must be a multiple of 10 in (0,100]", term)
+			}
+			m.FreqTenths = uint8((100 - p) / 10)
+		default:
+			return FaultMask{}, fmt.Errorf("hardware: unknown fault term %q (want chiplet<N>, cores<C>@<N>, lanes<C>@<N>, freq<P>%%)", term)
+		}
+	}
+	m = m.Canonical(c)
+	if err := m.Validate(c); err != nil {
+		return FaultMask{}, err
+	}
+	return m, nil
+}
+
+// Fabric is the effective degraded fabric of a configuration under a fault
+// mask: the per-position surviving capability the orchestrator can map onto.
+type Fabric struct {
+	Base Config
+	Mask FaultMask // canonical
+	// Cores[i] is the number of live cores at physical position i (0 when
+	// the chiplet is dead or bypassed).
+	Cores [MaxChiplets]int
+	// Lanes[i] is the number of usable vector-MAC lanes per live core at
+	// position i.
+	Lanes [MaxChiplets]int
+}
+
+// Degrade applies a fault mask to the configuration and returns the
+// effective fabric. The zero mask returns the identity fabric (every
+// position at full capability). The mask is canonicalized and validated.
+func (c Config) Degrade(m FaultMask) (Fabric, error) {
+	if err := c.Validate(); err != nil {
+		return Fabric{}, err
+	}
+	if c.Chiplets > MaxChiplets {
+		return Fabric{}, fmt.Errorf("hardware: fault model supports at most %d chiplets, config has %d", MaxChiplets, c.Chiplets)
+	}
+	// Validate the raw mask first: canonicalization re-stamps the position
+	// count, which would silently adopt a mask built for a different package.
+	if err := m.Validate(c); err != nil {
+		return Fabric{}, err
+	}
+	m = m.Canonical(c)
+	f := Fabric{Base: c, Mask: m}
+	for i := 0; i < c.Chiplets; i++ {
+		if !m.IsZero() && m.Dead&(1<<i) != 0 {
+			continue
+		}
+		f.Cores[i] = c.Cores
+		f.Lanes[i] = c.Lanes
+		if !m.IsZero() {
+			f.Cores[i] -= int(m.DeadCores[i])
+			f.Lanes[i] -= int(m.BinnedLanes[i])
+		}
+	}
+	return f, nil
+}
+
+// AliveChiplets returns the number of positions with surviving compute.
+func (f Fabric) AliveChiplets() int {
+	n := 0
+	for i := 0; i < f.Base.Chiplets; i++ {
+		if f.Cores[i] > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalMACs returns the surviving package-wide MAC count.
+func (f Fabric) TotalMACs() int {
+	n := 0
+	for i := 0; i < f.Base.Chiplets; i++ {
+		n += f.Cores[i] * f.Lanes[i] * f.Base.Vector
+	}
+	return n
+}
+
+// Envelope is one uniform sub-fabric of a degraded package: a configuration
+// every participating chiplet can honor, plus the effective mask describing
+// which physical positions participate (non-participants relay ring traffic
+// exactly like dead ones). The mapper searches each envelope with its
+// existing uniform-fabric machinery.
+type Envelope struct {
+	HW   Config
+	Mask FaultMask
+}
+
+// Envelopes enumerates the candidate uniform sub-fabrics of the degraded
+// package, most capable (total MACs) first, deterministically. One envelope
+// exists per distinct surviving (cores, lanes) capability tier: the tier's
+// envelope uses every position at least that capable, clamped to the tier.
+// A healthy fabric yields exactly one envelope — the base configuration
+// under the zero mask — which is what makes the zero-fault scenario
+// result-identical to the baseline evaluation.
+func (f Fabric) Envelopes() []Envelope {
+	type tier struct{ cores, lanes int }
+	seenTier := make(map[tier]bool)
+	var tiers []tier
+	for i := 0; i < f.Base.Chiplets; i++ {
+		if f.Cores[i] <= 0 {
+			continue
+		}
+		tr := tier{f.Cores[i], f.Lanes[i]}
+		if !seenTier[tr] {
+			seenTier[tr] = true
+			tiers = append(tiers, tr)
+		}
+	}
+	seenEnv := make(map[Envelope]bool)
+	var out []Envelope
+	for _, tr := range tiers {
+		var dead uint8
+		participants := 0
+		for i := 0; i < f.Base.Chiplets; i++ {
+			if f.Cores[i] >= tr.cores && f.Lanes[i] >= tr.lanes {
+				participants++
+			} else {
+				dead |= 1 << i
+			}
+		}
+		if participants == 0 {
+			continue
+		}
+		hw := f.Base
+		hw.Chiplets, hw.Cores, hw.Lanes = participants, tr.cores, tr.lanes
+		// The envelope mask carries exactly the ring-relevant degradation —
+		// which physical positions are bypassed. Capability loss is baked
+		// into the uniform HW, and the package clock derate applies at the
+		// scenario level, so a gap-free envelope keys identically to a
+		// genuinely healthy configuration of the same shape (same physics,
+		// shared cache entries).
+		mask := FaultMask{Chiplets: uint8(f.Base.Chiplets), Dead: dead}
+		if dead == 0 {
+			mask = FaultMask{}
+		}
+		env := Envelope{HW: hw, Mask: mask}
+		if !seenEnv[env] {
+			seenEnv[env] = true
+			out = append(out, env)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i].HW, out[j].HW
+		if a.TotalMACs() != b.TotalMACs() {
+			return a.TotalMACs() > b.TotalMACs()
+		}
+		if a.Chiplets != b.Chiplets {
+			return a.Chiplets > b.Chiplets
+		}
+		if a.Cores != b.Cores {
+			return a.Cores > b.Cores
+		}
+		return a.Lanes > b.Lanes
+	})
+	return out
+}

@@ -215,3 +215,75 @@ func TestBestPerSpatialComboMatchesExhaustive(t *testing.T) {
 		}
 	}
 }
+
+// randomFault draws a mask of ring positions for the surviving chiplet count
+// so SearchAll and SearchExhaustive can be compared on degraded fabrics: the
+// envelope hardware has hw.Chiplets survivors among mask.Chiplets physical
+// positions.
+func randomFault(rng *rand.Rand, survivors int) hardware.FaultMask {
+	positions := survivors + 1 + rng.Intn(hardware.MaxChiplets-survivors)
+	var dead uint8
+	killed := 0
+	for i := 0; i < positions && killed < positions-survivors; i++ {
+		if rng.Intn(2) == 0 || positions-i == positions-survivors-killed {
+			dead |= 1 << i
+			killed++
+		}
+	}
+	return hardware.FaultMask{Chiplets: uint8(positions), Dead: dead}
+}
+
+// TestSearchAllMatchesExhaustiveDegraded fuzzes the equivalence on degraded
+// rings: the pruned, parallel search must agree with the exhaustive
+// reference under fault masks that reroute D2D hops.
+func TestSearchAllMatchesExhaustiveDegraded(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	cm := hardware.MustCostModel()
+	layers := uniqueZooLayers(64)
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		l := layers[rng.Intn(len(layers))]
+		hw := randomHW(rng)
+		hw.Chiplets = []int{1, 2, 3, 4, 6}[rng.Intn(5)]
+		if hw.Validate() != nil {
+			continue
+		}
+		cfg := Config{
+			Objective: []Objective{MinEnergy, MinEDP}[rng.Intn(2)],
+			KeepTop:   []int{1, 8}[rng.Intn(2)],
+			Workers:   []int{0, 1, 3}[rng.Intn(3)],
+			Fault:     randomFault(rng, hw.Chiplets),
+		}
+		ctx := fmt.Sprintf("trial %d: %s/%s on %s fault=%s cfg=%+v",
+			trial, l.Model, l.Name, hw.Tuple(), cfg.Fault, cfg)
+		want := SearchExhaustive(l, hw, cm, cfg)
+		got := SearchAll(l, hw, cm, cfg)
+		requireSameOptions(t, ctx, want, got, cfg.Objective)
+	}
+}
+
+// TestSearchDegradedCostsMore pins the physics: rerouting around a dead
+// position can only add D2D energy and ring latency, never remove them.
+func TestSearchDegradedCostsMore(t *testing.T) {
+	cm := hardware.MustCostModel()
+	hw := hardware.CaseStudy()
+	hw.Chiplets = 3 // three survivors of a 4-position package
+	l := workload.ResNet50(224).Layers[10]
+	healthy, err := Search(l, hw, cm, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := Search(l, hw, cm, Config{Fault: hardware.FaultMask{Chiplets: 4, Dead: 1 << 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.Energy.Total() < healthy.Energy.Total() {
+		t.Errorf("degraded energy %.1f < healthy %.1f", degraded.Energy.Total(), healthy.Energy.Total())
+	}
+	if degraded.Energy.D2D < healthy.Energy.D2D {
+		t.Errorf("degraded D2D energy %.1f < healthy %.1f", degraded.Energy.D2D, healthy.Energy.D2D)
+	}
+}

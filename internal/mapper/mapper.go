@@ -12,6 +12,7 @@ import (
 	"nnbaton/internal/energy"
 	"nnbaton/internal/hardware"
 	"nnbaton/internal/mapping"
+	"nnbaton/internal/noc"
 	"nnbaton/internal/sim"
 	"nnbaton/internal/workload"
 )
@@ -188,6 +189,13 @@ type Config struct {
 	// (<=0 means GOMAXPROCS; 1 forces the serial path). Any value yields
 	// identical results.
 	Workers int
+	// Fault is the ring-relevant degradation of the fabric the search maps
+	// onto: hw describes the surviving uniform capability, and Fault names
+	// the physical positions the directional ring must detour around
+	// (hardware.Fabric.Envelopes produces matched pairs). The zero mask is
+	// the healthy identity. Fault participates in the engine's memoization
+	// key, so healthy and degraded searches never alias.
+	Fault hardware.FaultMask
 	// Counters, when non-nil, receives the search funnel tallies
 	// (generated / bound-pruned / stage-pruned / evaluated candidates).
 	Counters *Counters
@@ -297,16 +305,26 @@ func temporalVariants(sh mapping.Shape) int64 {
 
 // enumerate walks the mapping space, evaluating every valid candidate
 // through the C³P engine and the runtime simulator, and yields each option.
-// It shares the subtree walker with the pruned search.
+// It shares the subtree walker — and the degraded-ring models — with the
+// pruned search, so the two paths stay result-identical under any mask.
 func enumerate(l workload.Layer, hw hardware.Config, cm *hardware.CostModel, cfg Config, yield func(Option)) {
+	ring, err := noc.NewRingUnder(hw.Chiplets, cfg.Fault)
+	if err != nil {
+		return
+	}
+	xbar, err := noc.NewCrossbar(hw.Chiplets)
+	if err != nil {
+		return
+	}
+	num, den := ring.D2DScale()
 	consider := func(m mapping.Mapping) {
 		a, err := c3p.Analyze(l, hw, m)
 		if err != nil {
 			return
 		}
 		tr := a.Traffic()
-		br := energy.FromTraffic(tr, hw, cm)
-		res, err := sim.SimulateTraffic(a, tr)
+		br := energy.FromTraffic(tr.ScaleD2D(num, den), hw, cm)
+		res, err := sim.SimulateTrafficOn(ring, xbar, a, tr)
 		if err != nil {
 			return
 		}

@@ -157,21 +157,26 @@ type searchState struct {
 }
 
 // init builds the interconnect models; SearchAll has already rejected
-// geometries they cannot represent.
-func (ws *searchState) init(hw hardware.Config) {
-	ws.ring, _ = noc.NewRing(hw.Chiplets)
+// geometries they cannot represent. The fault mask reroutes the ring around
+// dead positions (the zero mask yields the healthy ring).
+func (ws *searchState) init(hw hardware.Config, mask hardware.FaultMask) {
+	ws.ring, _ = noc.NewRingUnder(hw.Chiplets, mask)
 	ws.xbar, _ = noc.NewCrossbar(hw.Chiplets)
 }
 
 // lowerBound prices a probe's best case for the active objective: the C³P
-// traffic floor (intrinsic fills, exact fixed terms) through the energy
-// model and, for EDP, the compute-bound runtime. Both models are monotone in
-// their traffic/cycle inputs and the floor under-counts nothing negative, so
-// the true score of every temporal variant of the probe is ≥ this value —
-// the admissibility property the pruning relies on. See DESIGN.md.
+// traffic floor (intrinsic fills, exact fixed terms), D2D-scaled for the
+// degraded ring, through the energy model and, for EDP, the compute-bound
+// runtime. Both models are monotone in their traffic/cycle inputs, ceil
+// scaling preserves component-wise ≤, and the floor under-counts nothing
+// negative, so the true score of every temporal variant of the probe is
+// ≥ this value — the admissibility property the pruning relies on. See
+// DESIGN.md. num/den is the ring's physical-to-logical D2D scale (1 when
+// healthy, where the bound reduces exactly to the pre-fault one).
 func lowerBound(l workload.Layer, hw hardware.Config, cm *hardware.CostModel,
-	m mapping.Mapping, sh mapping.Shape, obj Objective) float64 {
-	e := energy.FromTraffic(c3p.TrafficFloor(l, hw, m, sh), hw, cm).Total()
+	m mapping.Mapping, sh mapping.Shape, obj Objective, num, den int64) float64 {
+	floor := c3p.TrafficFloor(l, hw, m, sh).ScaleD2D(num, den)
+	e := energy.FromTraffic(floor, hw, cm).Total()
 	if obj == MinEDP {
 		e *= hardware.Seconds(sim.ComputeBoundCyclesOf(l, hw, m, sh))
 	}
@@ -184,6 +189,9 @@ type search struct {
 	hw  hardware.Config
 	cm  *hardware.CostModel
 	cfg Config
+	// d2dNum/d2dDen is the degraded ring's physical-to-logical D2D traffic
+	// scale (noc.Ring.D2DScale); equal when the fabric is healthy.
+	d2dNum, d2dDen int64
 }
 
 // runSubtree evaluates one shard of the mapping space through the staged
@@ -205,7 +213,7 @@ func (s *search) runSubtree(st subtree, ws *searchState, dest *topK, shared *sha
 		nvar := int64(len(pts)) * int64(len(cts))
 		ws.tally.generated += nvar
 		thresh := min(dest.worst(), shared.load())
-		if lowerBound(l, hw, cm, probe, sh, obj) > thresh {
+		if lowerBound(l, hw, cm, probe, sh, obj, s.d2dNum, s.d2dDen) > thresh {
 			ws.tally.boundPruned += nvar
 			return
 		}
@@ -215,7 +223,10 @@ func (s *search) runSubtree(st subtree, ws *searchState, dest *topK, shared *sha
 				m.PackageTemporal, m.ChipletTemporal = pt, ct
 				c3p.AnalyzeInto(&ws.a, &ws.sc, l, hw, m)
 				tr := ws.a.Traffic()
-				br := energy.FromTraffic(tr, hw, cm)
+				// Energy prices the physical link bytes (detours included);
+				// the simulator consumes the logical record — the degraded
+				// ring internalizes the hop multipliers on the time side.
+				br := energy.FromTraffic(tr.ScaleD2D(s.d2dNum, s.d2dDen), hw, cm)
 				// Stage prune: the exact energy is known before the
 				// simulator runs; for EDP, pair it with the compute-bound
 				// runtime — still a lower bound on the final score.
@@ -288,7 +299,8 @@ func SearchAll(l workload.Layer, hw hardware.Config, cm *hardware.CostModel, cfg
 	if l.Validate() != nil || hw.Validate() != nil {
 		return nil
 	}
-	if _, err := noc.NewRing(hw.Chiplets); err != nil {
+	ring, err := noc.NewRingUnder(hw.Chiplets, cfg.Fault)
+	if err != nil {
 		return nil
 	}
 	if _, err := noc.NewCrossbar(hw.Chiplets); err != nil {
@@ -302,12 +314,13 @@ func SearchAll(l workload.Layer, hw hardware.Config, cm *hardware.CostModel, cfg
 	states := make([]searchState, workers)
 	tops := make([]*topK, workers)
 	for i := range states {
-		states[i].init(hw)
+		states[i].init(hw, cfg.Fault)
 		tops[i] = newTopK(cfg.KeepTop, cfg.Objective)
 	}
-	srch := &search{l: l, hw: hw, cm: cm, cfg: cfg}
+	num, den := ring.D2DScale()
+	srch := &search{l: l, hw: hw, cm: cm, cfg: cfg, d2dNum: num, d2dDen: den}
 	shared := newSharedBound()
-	err := par.ParallelForWorker(context.Background(), len(sts), workers, func(w, i int) error {
+	err = par.ParallelForWorker(context.Background(), len(sts), workers, func(w, i int) error {
 		srch.runSubtree(sts[i], &states[w], tops[w], shared)
 		return nil
 	})
@@ -383,7 +396,7 @@ func BestPerSpatialCombo(l workload.Layer, hw hardware.Config, cm *hardware.Cost
 	states := make([]searchState, workers)
 	tops := make([][numCombos]*topK, workers)
 	for i := range states {
-		states[i].init(hw)
+		states[i].init(hw, cfg.Fault)
 		for c := range tops[i] {
 			tops[i][c] = newTopK(1, MinEnergy)
 		}
@@ -392,7 +405,7 @@ func BestPerSpatialCombo(l workload.Layer, hw hardware.Config, cm *hardware.Cost
 	for c := range bounds {
 		bounds[c] = newSharedBound()
 	}
-	srch := &search{l: l, hw: hw, cm: cm, cfg: cfg}
+	srch := &search{l: l, hw: hw, cm: cm, cfg: cfg, d2dNum: 1, d2dDen: 1}
 	err := par.ParallelForWorker(context.Background(), len(sts), workers, func(w, i int) error {
 		st := sts[i]
 		c := comboIndex(st.ps.kind, st.cs.kind)

@@ -106,6 +106,50 @@ func (t *Table) String() string {
 	return sb.String()
 }
 
+// DegradationRow is one scenario of a graceful-degradation curve: the
+// surviving fabric and the evaluation outcome at that fault level.
+type DegradationRow struct {
+	Scenario    string  // canonical fault-mask text
+	FailedUnits int     // dead dies + dead cores + binned groups (+ derate)
+	Alive       int     // surviving chiplets
+	MACs        int     // surviving package MACs
+	Envelope    string  // winning uniform sub-fabric (tuple text)
+	EnergyPJ    float64 // total energy (pJ)
+	Seconds     float64 // wall time at the binned clock
+	EDPPJs      float64 // energy-delay product (pJ·s)
+	Err         string  // failure reason ("" when evaluated)
+}
+
+// DegradationCurve renders a degradation-curve table: energy/runtime/EDP
+// versus failed units, one row per fault scenario in series order, with the
+// relative cost against the first (healthy) evaluated row.
+func DegradationCurve(title string, rows []DegradationRow) *Table {
+	t := New(title, "scenario", "failed", "alive", "MACs", "envelope",
+		"energy (uJ)", "runtime (ms)", "EDP (pJ*s)", "vs healthy")
+	var baseEDP float64
+	for _, r := range rows {
+		if r.Err == "" {
+			baseEDP = r.EDPPJs
+			break
+		}
+	}
+	for _, r := range rows {
+		if r.Err != "" {
+			t.Add(r.Scenario, fmt.Sprint(r.FailedUnits), fmt.Sprint(r.Alive),
+				fmt.Sprint(r.MACs), "-", "-", "-", "-", "error: "+r.Err)
+			continue
+		}
+		rel := "-"
+		if baseEDP > 0 {
+			rel = fmt.Sprintf("%.2fx", r.EDPPJs/baseEDP)
+		}
+		t.Add(r.Scenario, fmt.Sprint(r.FailedUnits), fmt.Sprint(r.Alive),
+			fmt.Sprint(r.MACs), r.Envelope, UJ(r.EnergyPJ), MS(r.Seconds),
+			fmt.Sprintf("%.4g", r.EDPPJs), rel)
+	}
+	return t
+}
+
 // UJ formats picojoules as microjoules.
 func UJ(pj float64) string { return fmt.Sprintf("%.2f", pj/1e6) }
 

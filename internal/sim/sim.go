@@ -95,8 +95,9 @@ func SimulateTrafficOn(ring *noc.Ring, xbar *noc.Crossbar, a *c3p.Analysis, tr c
 	loadPerPos := xbar.LoadCycles(dramPerPos, conflict)
 	d2dCycles := ring.HopCycles(d2dPerPos)
 	if d2dPerPos > 0 {
-		// Rotation rounds synchronize the whole ring once per hop.
-		d2dCycles += int64(ring.Rounds()) * noc.HopLatencyCycles
+		// Rotation rounds synchronize the whole ring once per logical hop;
+		// on a degraded ring the longest detour gates every round.
+		d2dCycles += int64(ring.Rounds()) * ring.RoundSyncCycles()
 	}
 	loadPerPos = max(loadPerPos, d2dCycles)
 	loadPerPos = max(loadPerPos, int64(float64(busPerPos)/hardware.BusBytesPerCycle+0.999999))
