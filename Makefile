@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench benchall bench-smoke vet race fuzz chaos check equiv lint degradation
+.PHONY: build test bench benchall bench-smoke vet race fuzz chaos check equiv lint degradation topo-equiv
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,15 @@ lint: vet
 degradation:
 	$(GO) test -race -count=1 -run 'TestNewRingUnder|TestRingDegenerate|TestFaultMask|TestParseFaultMask|TestDegrade|TestEnvelope|TestYield|TestSearchAllMatchesExhaustiveDegraded|TestSearchDegradedCostsMore|TestEvalScenario|TestDegradationSweep|TestCacheKeyFaultSeparation|TestCacheFaultErrorEviction|TestScenarioPointKey' \
 		./internal/noc ./internal/hardware ./internal/mapper ./internal/faults ./internal/engine
+
+# topo-equiv is the topology-refactor correctness gate: the generic graph
+# engine must reproduce the ring's closed forms exactly (healthy, and under
+# every fault mask over 2-8 positions), the simulator must be byte-identical
+# on either ring implementation across searched zoo mappings, and the engine
+# cache must key ring/mesh/torus separately — all under the race detector.
+topo-equiv:
+	$(GO) test -race -count=1 -run 'TestGenericRing|TestMeshTorus|TestGridDims|TestTopologyConstructorErrors|TestDegradedMeshReroutes|TestNewInterconnect|TestParseTopology|TestTopology|TestConfigTupleTopologySuffix|TestConfigValidateTopology|TestSimZooRingGenericEquivalence|TestCacheKeyTopologySeparation|TestEvalTopologyCostOrdering|TestGranularityTopologyAxis|TestGranularityMeshCostsAtLeastRing' \
+		./internal/noc ./internal/hardware ./internal/sim ./internal/engine ./internal/dse
 
 race:
 	$(GO) test -race ./...

@@ -68,7 +68,27 @@ type (
 	Process = fab.Process
 	// CostedPoint pairs a design point with its manufacturing cost.
 	CostedPoint = dse.CostedPoint
+	// Topology selects the on-package interconnect fabric (ring, mesh,
+	// torus); the zero value is the paper's directional ring.
+	Topology = hardware.Topology
 )
+
+// Interconnect topology constants (Hardware.Topology / Space.Topology).
+const (
+	// TopoRing is the paper's directional ring (the default).
+	TopoRing = hardware.TopoRing
+	// TopoMesh is a 2D mesh over a near-square chiplet grid.
+	TopoMesh = hardware.TopoMesh
+	// TopoTorus is the mesh with wraparound links.
+	TopoTorus = hardware.TopoTorus
+)
+
+// ParseTopology maps a -topology flag value ("ring", "mesh", "torus") to a
+// Topology, listing the valid names on failure.
+func ParseTopology(name string) (Topology, error) { return hardware.ParseTopology(name) }
+
+// TopologyNames returns the valid -topology flag values.
+func TopologyNames() []string { return hardware.TopologyNames() }
 
 // DefaultProcess returns the 16 nm-class fabrication cost structure used by
 // the manufacturing-cost extension.

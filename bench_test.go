@@ -349,6 +349,25 @@ func BenchmarkSearchLayerPruned(b *testing.B) {
 	b.ReportMetric(float64(ctr.Evaluated.Value())/n, "evaluated/op")
 }
 
+// BenchmarkSearchLayerMeshPruned is the branch-and-bound search on the same
+// layer and config with the package fabric switched to the 2D mesh: the
+// admissible floor scales its D2D term by the mesh's TotalHop/Chiplets
+// rational, so this tracks whether the generic topology path keeps the
+// pruned search competitive with the ring's closed forms (benchjson derives
+// the mesh-vs-ring ratio from this pair).
+func BenchmarkSearchLayerMeshPruned(b *testing.B) {
+	l := benchSearchLayer(b)
+	hw := hardware.CaseStudy()
+	hw.Topology = hardware.TopoMesh
+	cfg := mapper.Config{Objective: mapper.MinEnergy, KeepTop: 8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(mapper.SearchAll(l, hw, benchCM, cfg)) == 0 {
+			b.Fatal("no options")
+		}
+	}
+}
+
 // BenchmarkSearchLayerPrunedSerial is the pruned search pinned to one worker,
 // isolating the bound/staging win from the parallel speedup.
 func BenchmarkSearchLayerPrunedSerial(b *testing.B) {

@@ -125,11 +125,19 @@ func parseBench(line string) (Benchmark, error) {
 	return b, nil
 }
 
-// derive adds exhaustive-vs-pruned ratios when both sides were measured.
+// derive adds exhaustive-vs-pruned ratios when both sides were measured, and
+// the mesh-vs-ring search cost ratio when a <base>MeshPruned twin of a
+// <base>Pruned benchmark appears (the topology-axis overhead tracker).
 func derive(rep *Report) {
 	byName := map[string]Benchmark{}
 	for _, b := range rep.Benchmarks {
 		byName[b.Name] = b
+	}
+	put := func(key string, v float64) {
+		if rep.Derived == nil {
+			rep.Derived = map[string]float64{}
+		}
+		rep.Derived[key] = v
 	}
 	for name, ex := range byName {
 		base, ok := strings.CutSuffix(name, "Exhaustive")
@@ -140,14 +148,24 @@ func derive(rep *Report) {
 		if !ok {
 			continue
 		}
-		if rep.Derived == nil {
-			rep.Derived = map[string]float64{}
-		}
 		if en, pn := ex.Metrics["ns/op"], pr.Metrics["ns/op"]; pn > 0 {
-			rep.Derived[base+"_speedup"] = en / pn
+			put(base+"_speedup", en/pn)
 		}
 		if ea, pa := ex.Metrics["allocs/op"], pr.Metrics["allocs/op"]; pa > 0 {
-			rep.Derived[base+"_allocs_reduction"] = ea / pa
+			put(base+"_allocs_reduction", ea/pa)
+		}
+	}
+	for name, mesh := range byName {
+		base, ok := strings.CutSuffix(name, "MeshPruned")
+		if !ok {
+			continue
+		}
+		ring, ok := byName[base+"Pruned"]
+		if !ok {
+			continue
+		}
+		if mn, rn := mesh.Metrics["ns/op"], ring.Metrics["ns/op"]; rn > 0 {
+			put(base+"_mesh_vs_ring", mn/rn)
 		}
 	}
 }

@@ -12,10 +12,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"nnbaton/internal/ckpt"
 	"nnbaton/internal/engine"
 	"nnbaton/internal/experiments"
+	"nnbaton/internal/hardware"
 	"nnbaton/internal/obs"
 )
 
@@ -29,7 +31,14 @@ func main() {
 	retries := flag.Int("retries", 0, "max re-attempts after a retryable point failure (panic, deadline, transient)")
 	checkpoint := flag.String("checkpoint", "", "journal completed sweep points to this JSONL file (crash-safe)")
 	resume := flag.Bool("resume", false, "replay points already journaled in the -checkpoint file instead of re-evaluating them")
+	topology := flag.String("topology", "ring", "on-package interconnect for every experiment: "+strings.Join(hardware.TopologyNames(), "|"))
 	flag.Parse()
+	topo, err := hardware.ParseTopology(*topology)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: -topology: %v\n", err)
+		os.Exit(2)
+	}
+	experiments.SetTopology(topo)
 	if *timeout < 0 {
 		fmt.Fprintf(os.Stderr, "experiments: -timeout must be non-negative, got %v\n", *timeout)
 		os.Exit(2)

@@ -41,6 +41,7 @@ type options struct {
 	resume     bool
 	degrade    int
 	faultSeed  int64
+	topology   string
 }
 
 // validate rejects nonsense flag values before any work starts, so the
@@ -61,7 +62,17 @@ func (o options) validate() error {
 	if o.resume && o.checkpoint == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
 	}
+	if _, err := nnbaton.ParseTopology(o.topology); err != nil {
+		return fmt.Errorf("-topology: %w", err)
+	}
 	return nil
+}
+
+// space returns the Table II exploration space under the selected fabric.
+func (o options) space() nnbaton.Space {
+	s := nnbaton.TableIISpace()
+	s.Topology, _ = nnbaton.ParseTopology(o.topology) // validated on line one
+	return s
 }
 
 func main() {
@@ -81,6 +92,7 @@ func main() {
 	flag.BoolVar(&o.resume, "resume", false, "replay points already journaled in the -checkpoint file instead of re-evaluating them")
 	flag.IntVar(&o.degrade, "degradation", 0, "with -mode granularity: follow up with an N-step graceful-degradation sweep of the recommended point")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for the -degradation yield series")
+	flag.StringVar(&o.topology, "topology", "ring", "on-package interconnect for every swept point: ring|mesh|torus")
 	flag.Parse()
 	if err := o.validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "nnbaton-dse:", err)
@@ -154,22 +166,22 @@ func run(ctx context.Context, o options) error {
 			fmt.Fprintln(os.Stderr, tool.EngineStats())
 		}
 	}()
-	macs, area := o.macs, o.area
 	switch o.mode {
 	case "granularity":
 		return granularity(ctx, tool, m, o)
 	case "explore":
-		return explore(ctx, tool, m, macs, area)
+		return explore(ctx, tool, m, o)
 	case "cost":
-		return cost(ctx, tool, m, macs, area)
+		return cost(ctx, tool, m, o)
 	}
 	return fmt.Errorf("unknown mode %q (granularity|explore|cost)", o.mode)
 }
 
 // cost runs the granularity study and prices every implementation under the
 // default fabrication process (the manufacturing-cost extension).
-func cost(ctx context.Context, tool *nnbaton.Baton, m nnbaton.Model, macs int, area float64) error {
-	res, err := tool.GranularityContext(ctx, m, nnbaton.TableIISpace(), macs, area)
+func cost(ctx context.Context, tool *nnbaton.Baton, m nnbaton.Model, o options) error {
+	macs, area := o.macs, o.area
+	res, err := tool.GranularityContext(ctx, m, o.space(), macs, area)
 	if err != nil {
 		return err
 	}
@@ -194,7 +206,7 @@ func cost(ctx context.Context, tool *nnbaton.Baton, m nnbaton.Model, macs int, a
 
 func granularity(ctx context.Context, tool *nnbaton.Baton, m nnbaton.Model, o options) error {
 	macs, area := o.macs, o.area
-	res, err := tool.GranularityContext(ctx, m, nnbaton.TableIISpace(), macs, area)
+	res, err := tool.GranularityContext(ctx, m, o.space(), macs, area)
 	if err != nil {
 		return err
 	}
@@ -243,8 +255,9 @@ func degradation(ctx context.Context, tool *nnbaton.Baton, m nnbaton.Model, hw n
 		nnbaton.DegradationRows(pts)).Render(os.Stdout)
 }
 
-func explore(ctx context.Context, tool *nnbaton.Baton, m nnbaton.Model, macs int, area float64) error {
-	res, err := tool.ExploreContext(ctx, m, nnbaton.TableIISpace(), macs, area)
+func explore(ctx context.Context, tool *nnbaton.Baton, m nnbaton.Model, o options) error {
+	macs, area := o.macs, o.area
+	res, err := tool.ExploreContext(ctx, m, o.space(), macs, area)
 	if err != nil {
 		return err
 	}

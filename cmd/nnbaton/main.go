@@ -50,6 +50,7 @@ type options struct {
 	timeout   time.Duration
 	retries   int
 	faults    string
+	topology  string
 }
 
 // validate rejects nonsense flag values before any work starts, so the
@@ -69,6 +70,9 @@ func (o options) validate() error {
 	}
 	if o.faults != "" && o.out != "" {
 		return fmt.Errorf("-faults does not export strategy files; drop -o")
+	}
+	if _, err := hardware.ParseTopology(o.topology); err != nil {
+		return fmt.Errorf("-topology: %w", err)
 	}
 	return nil
 }
@@ -92,6 +96,7 @@ func main() {
 	flag.DurationVar(&o.timeout, "timeout", 0, "per-layer search deadline (e.g. 30s); 0 disables")
 	flag.IntVar(&o.retries, "retries", 0, "max re-attempts after a retryable search failure (panic, deadline, transient)")
 	flag.StringVar(&o.faults, "faults", "", "map onto a degraded fabric: fault spec like 'chiplet2,cores3@1,freq90%' (see ParseFault)")
+	flag.StringVar(&o.topology, "topology", "ring", "on-package interconnect: "+strings.Join(hardware.TopologyNames(), "|"))
 	flag.Parse()
 	if err := o.validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "nnbaton:", err)
@@ -163,6 +168,7 @@ func run(o options) error {
 		hw = hardware.Config{Chiplets: hw.Chiplets, Cores: hw.Cores, Lanes: hw.Lanes, Vector: hw.Vector}.
 			WithProportionalMemory(hardware.DefaultProportion())
 	}
+	hw.Topology, _ = hardware.ParseTopology(o.topology) // validated on line one
 	if err := hw.Validate(); err != nil {
 		return err
 	}

@@ -35,6 +35,12 @@ type Space struct {
 	AL1        []int // A-L1 bytes per core
 	WL1        []int // W-L1 bytes per core
 	AL2        []int // A-L2 bytes per chiplet
+
+	// Topology is the interconnect fabric every enumerated configuration
+	// uses (the zero value is the paper's directional ring). A first-class
+	// DSE axis: sweeping the same space under ring, mesh and torus compares
+	// fabrics at matched compute/memory budgets.
+	Topology hardware.Topology
 }
 
 // TableII returns the experimental space of the paper: P, L ∈ {2,4,8,16},
@@ -75,7 +81,8 @@ func (s Space) ComputeConfigs(totalMACs int) []hardware.Config {
 			for _, l := range s.Lanes {
 				for _, p := range s.Vector {
 					if np*nc*l*p == totalMACs {
-						out = append(out, hardware.Config{Chiplets: np, Cores: nc, Lanes: l, Vector: p})
+						out = append(out, hardware.Config{Chiplets: np, Cores: nc, Lanes: l,
+							Vector: p, Topology: s.Topology})
 					}
 				}
 			}

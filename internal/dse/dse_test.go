@@ -286,3 +286,71 @@ func TestWithCosts(t *testing.T) {
 		}
 	}
 }
+
+// TestGranularityTopologyAxis drives the new DSE axis end-to-end: the same
+// tiny space swept under mesh and torus fabrics must evaluate every point
+// (the generic graph engine handles each chiplet count), stamp the topology
+// into each point's hardware, and render it in the Fig 14 tuple.
+func TestGranularityTopologyAxis(t *testing.T) {
+	for _, kind := range []hardware.Topology{hardware.TopoMesh, hardware.TopoTorus} {
+		s := tinySpace()
+		s.Topology = kind
+		res, err := Granularity(ctx, tinyModel(), s, 512, 2.0, hardware.DefaultProportion(), newEng())
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if len(res.Points) == 0 {
+			t.Fatalf("%v: empty study", kind)
+		}
+		for _, p := range res.Points {
+			if p.HW.Topology != kind {
+				t.Errorf("%v: point %s lost its topology", kind, p.HW.Tuple())
+			}
+			if p.MappedLayers == 0 {
+				t.Errorf("%v: point %s failed to map: %s", kind, p.HW.Tuple(), p.Err)
+			}
+			if p.HW.Chiplets > 1 && !strings.HasSuffix(p.HW.Tuple(), "@"+kind.String()) &&
+				!strings.Contains(p.HW.Tuple(), "@"+kind.String()) {
+				t.Errorf("%v: tuple %q does not name the fabric", kind, p.HW.Tuple())
+			}
+		}
+		if _, ok := res.BestEDP(); !ok {
+			t.Errorf("%v: no feasible recommendation", kind)
+		}
+	}
+}
+
+// TestGranularityMeshCostsAtLeastRing pins the cross-fabric ordering at the
+// study level: aggregated over the whole tiny model, no mesh point can beat
+// its ring twin on energy (the mesh rotation moves a superset of the ring's
+// physical D2D bytes).
+func TestGranularityMeshCostsAtLeastRing(t *testing.T) {
+	ringRes, err := Granularity(ctx, tinyModel(), tinySpace(), 512, 2.0, hardware.DefaultProportion(), newEng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tinySpace()
+	s.Topology = hardware.TopoMesh
+	meshRes, err := Granularity(ctx, tinyModel(), s, 512, 2.0, hardware.DefaultProportion(), newEng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringBy := map[string]Point{}
+	for _, p := range ringRes.Points {
+		hw := p.HW
+		hw.Topology = hardware.TopoRing
+		ringBy[hw.Tuple()] = p
+	}
+	for _, mp := range meshRes.Points {
+		hw := mp.HW
+		hw.Topology = hardware.TopoRing
+		rp, ok := ringBy[hw.Tuple()]
+		if !ok || mp.MappedLayers == 0 || rp.MappedLayers == 0 {
+			continue
+		}
+		if mp.Energy.Total() < rp.Energy.Total() {
+			t.Errorf("%s: mesh energy %.1f beats ring %.1f", hw.Tuple(),
+				mp.Energy.Total(), rp.Energy.Total())
+		}
+	}
+}

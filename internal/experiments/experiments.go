@@ -50,6 +50,29 @@ func SetEngineConfig(cfg engine.Config) {
 	eng = engine.NewFromConfig(cm, cfg)
 }
 
+// topo is the interconnect fabric the experiment drivers evaluate on. The
+// zero value is the paper's directional ring, reproducing the published
+// tables; SetTopology re-runs them on a mesh or torus package.
+var topo hardware.Topology
+
+// SetTopology selects the interconnect fabric for every subsequent
+// experiment run (the -topology flag of cmd/experiments).
+func SetTopology(t hardware.Topology) { topo = t }
+
+// caseHW returns the §VI-A case-study configuration on the selected fabric.
+func caseHW() hardware.Config {
+	hw := hardware.CaseStudy()
+	hw.Topology = topo
+	return hw
+}
+
+// tableII returns the Table II space on the selected fabric.
+func tableII() dse.Space {
+	s := dse.TableII()
+	s.Topology = topo
+	return s
+}
+
 // Experiment is one regenerable paper artifact.
 type Experiment struct {
 	ID   string
@@ -75,6 +98,7 @@ func All() []Experiment {
 		{"ext-layout", "Extension: DRAM data layout vs crossbar conflicts", extLayout},
 		{"ext-mobilenet", "Extension: grouped-convolution mapping (MobileNetV2)", extMobileNet},
 		{"ext-degradation", "Extension: graceful degradation of ResNet-50 under a seeded yield series", extDegradation},
+		{"ext-topology", "Extension: interconnect topology comparison (ring vs mesh vs torus)", extTopology},
 	}
 }
 
@@ -221,7 +245,7 @@ func resolutions(quick bool) []int {
 }
 
 func fig11(w io.Writer, quick bool) error {
-	hw := hardware.CaseStudy()
+	hw := caseHW()
 	combos := []string{"(C,C)", "(C,P)", "(C,H)", "(P,C)", "(P,P)", "(P,H)"}
 	for _, res := range resolutions(quick) {
 		reps, err := workload.RepresentativeLayers(res)
@@ -250,7 +274,7 @@ func fig11(w io.Writer, quick bool) error {
 }
 
 func fig12(w io.Writer, quick bool) error {
-	hw := hardware.CaseStudy()
+	hw := caseHW()
 	g := simba.DefaultGrid(hw)
 	for _, res := range resolutions(quick) {
 		reps, err := workload.RepresentativeLayers(res)
@@ -281,7 +305,7 @@ func fig12(w io.Writer, quick bool) error {
 }
 
 func fig13(w io.Writer, quick bool) error {
-	hw := hardware.CaseStudy()
+	hw := caseHW()
 	g := simba.DefaultGrid(hw)
 	models := []func(int) workload.Model{workload.VGG16, workload.ResNet50, workload.DarkNet19}
 	if quick {
@@ -311,7 +335,7 @@ func fig13(w io.Writer, quick bool) error {
 }
 
 func fig14(w io.Writer, quick bool) error {
-	space := dse.TableII()
+	space := tableII()
 	models := workload.Models(224)
 	if quick {
 		models = models[:1]
@@ -352,7 +376,7 @@ func fig14(w io.Writer, quick bool) error {
 }
 
 func fig15(w io.Writer, quick bool) error {
-	space := dse.TableII()
+	space := tableII()
 	benches := []workload.Model{workload.VGG16(512), workload.ResNet50(512), workload.DarkNet19(224)}
 	if quick {
 		benches = []workload.Model{workload.VGG16(224)}
@@ -400,7 +424,7 @@ func fig15(w io.Writer, quick bool) error {
 // hardware: per-layer optimal mappings with fused intermediates kept in the
 // aggregate A-L2 instead of round-tripping DRAM.
 func extFusion(w io.Writer, quick bool) error {
-	hw := hardware.CaseStudy()
+	hw := caseHW()
 	models := []workload.Model{workload.DarkNet19(224), workload.VGG16(224)}
 	if quick {
 		models = models[:1]
@@ -498,7 +522,7 @@ func extLayout(w io.Writer, _ bool) error {
 // grouped-convolution extension — and reports utilization pressure from the
 // thin-channel layers.
 func extMobileNet(w io.Writer, _ bool) error {
-	hw := hardware.CaseStudy()
+	hw := caseHW()
 	m := workload.MobileNetV2(224)
 	res, err := eng.EvalModel(context.Background(), m, hw, mapper.Config{})
 	if err != nil {
@@ -545,7 +569,7 @@ func countGrouped(res mapper.ModelResult, grouped bool) int {
 // and reports energy/runtime/EDP versus failed units. The healthy first row
 // is result-identical to the baseline post-design flow.
 func extDegradation(w io.Writer, quick bool) error {
-	hw := hardware.CaseStudy()
+	hw := caseHW()
 	res := 224
 	steps := 8
 	if quick {
@@ -585,4 +609,57 @@ func extDegradation(w io.Writer, quick bool) error {
 	return report.DegradationCurve(
 		fmt.Sprintf("Extension: ResNet-50@%d degradation curve on %s (seed 20260806)", res, hw.Tuple()),
 		rows).Render(w)
+}
+
+// extTopology compares the interconnect fabrics the Topology interface
+// opens up: each zoo model is mapped per-layer-optimally on the case-study
+// package under the ring (the paper's fabric), a 2×2-grid mesh and a torus,
+// at identical compute and memory budgets. The hop columns expose why the
+// results differ: the mesh's row-major rotation cycle re-crosses the grid,
+// inflating TotalHop and with it both the physical D2D bytes (energy) and
+// the synchronized round gate (runtime). The engine memoizes each fabric
+// separately — topology is part of the cache key — so the three rows of one
+// model never alias.
+func extTopology(w io.Writer, quick bool) error {
+	models := []workload.Model{workload.ResNet50(224), workload.VGG16(224), workload.DarkNet19(224)}
+	if quick {
+		models = []workload.Model{workload.ResNet50(64)}
+	}
+	// 4 chiplets is the case-study package but its 2×2 grid makes the torus
+	// wrap links coincide with the mesh; the 8-chiplet 2×4 grid is the
+	// discriminating shape where the torus strictly shortens the rotation.
+	chipletCounts := []int{4, 8}
+	if quick {
+		chipletCounts = []int{4}
+	}
+	t := report.New("Extension: interconnect topology at the case-study per-chiplet budget",
+		"model", "chiplets", "topology", "hop max/total", "D2D scale", "contention",
+		"energy mJ", "runtime ms", "EDP pJ*s")
+	for _, m := range models {
+		for _, chiplets := range chipletCounts {
+			for _, kind := range []hardware.Topology{hardware.TopoRing, hardware.TopoMesh, hardware.TopoTorus} {
+				hw := caseHW()
+				hw.Chiplets = chiplets
+				hw.Topology = kind
+				fabric, err := noc.NewTopology(kind, hw.Chiplets)
+				if err != nil {
+					return err
+				}
+				res, err := eng.EvalModel(context.Background(), m, hw, mapper.Config{})
+				if err != nil {
+					return err
+				}
+				secs := hardware.Seconds(res.Cycles)
+				num, den := fabric.D2DScale()
+				t.Add(m.Name, fmt.Sprint(chiplets), kind.String(),
+					fmt.Sprintf("%d/%d", fabric.MaxHop(), fabric.TotalHop()),
+					fmt.Sprintf("%d/%d", num, den),
+					fmt.Sprint(fabric.LinkContention()),
+					fmt.Sprintf("%.2f", res.Energy.Total()/1e9),
+					report.MS(secs),
+					fmt.Sprintf("%.3g", res.Energy.Total()*secs))
+			}
+		}
+	}
+	return t.Render(w)
 }

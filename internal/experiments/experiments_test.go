@@ -8,7 +8,7 @@ import (
 func TestAllRegistry(t *testing.T) {
 	all := All()
 	want := []string{"table1", "table2", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-		"ext-fusion", "ext-cost", "ext-layout", "ext-mobilenet", "ext-degradation"}
+		"ext-fusion", "ext-cost", "ext-layout", "ext-mobilenet", "ext-degradation", "ext-topology"}
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
 	}

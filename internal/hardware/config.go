@@ -25,6 +25,10 @@ type Config struct {
 	WL1Bytes int // local weight buffer (double-buffered SRAM, poolable)
 	AL2Bytes int // shared chiplet activation buffer
 	OL2Bytes int // chiplet output collection buffer
+
+	// Topology is the on-package interconnect fabric. The zero value is the
+	// paper's directional ring, so legacy configurations are unaffected.
+	Topology Topology
 }
 
 // MACsPerCore returns L×P.
@@ -46,19 +50,27 @@ func (c Config) Validate() error {
 	case c.OL2Bytes < 0:
 		return fmt.Errorf("hardware: negative O-L2 size in %+v", c)
 	}
-	return nil
+	return c.Topology.Validate()
 }
 
 // String renders the four-element computation tuple of Fig 14,
-// (chiplet, core, lane, vector-size), plus the memory sizes.
+// (chiplet, core, lane, vector-size), plus the memory sizes. Non-ring
+// topologies append an "@mesh"/"@torus" suffix; the ring renders exactly as
+// before the topology axis existed, so historical checkpoint-journal keys
+// (which embed this text) keep matching.
 func (c Config) String() string {
-	return fmt.Sprintf("%d-%d-%d-%d (O-L1 %dB, A-L1 %dB, W-L1 %dB, A-L2 %dB)",
-		c.Chiplets, c.Cores, c.Lanes, c.Vector, c.OL1Bytes, c.AL1Bytes, c.WL1Bytes, c.AL2Bytes)
+	return fmt.Sprintf("%s (O-L1 %dB, A-L1 %dB, W-L1 %dB, A-L2 %dB)",
+		c.Tuple(), c.OL1Bytes, c.AL1Bytes, c.WL1Bytes, c.AL2Bytes)
 }
 
-// Tuple renders just the computation allocation, e.g. "4-4-16-8".
+// Tuple renders just the computation allocation, e.g. "4-4-16-8", with the
+// topology suffix for non-ring fabrics ("4-4-16-8@mesh").
 func (c Config) Tuple() string {
-	return fmt.Sprintf("%d-%d-%d-%d", c.Chiplets, c.Cores, c.Lanes, c.Vector)
+	t := fmt.Sprintf("%d-%d-%d-%d", c.Chiplets, c.Cores, c.Lanes, c.Vector)
+	if c.Topology != TopoRing {
+		t += "@" + c.Topology.String()
+	}
+	return t
 }
 
 // CaseStudy returns the fixed configuration of §VI-A1: 4 chiplets, 8 cores,

@@ -1,0 +1,88 @@
+package hardware
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Topology selects the on-package interconnect fabric connecting the
+// chiplets. The zero value is the directional ring of §III-A3, so existing
+// configurations — and every serialized Config that predates the topology
+// axis — keep their meaning unchanged.
+type Topology uint8
+
+const (
+	// TopoRing is the paper's directional ring: each chiplet forwards to its
+	// clockwise neighbor, one physical link per logical hop.
+	TopoRing Topology = iota
+	// TopoMesh is a 2D mesh over a near-square grid of the chiplets, with
+	// bidirectional links and XY shortest-path routing.
+	TopoMesh
+	// TopoTorus is the mesh with wraparound links in both dimensions.
+	TopoTorus
+	numTopologies
+)
+
+// TopologyNames returns the valid -topology flag values in declaration order.
+func TopologyNames() []string { return []string{"ring", "mesh", "torus"} }
+
+// String implements fmt.Stringer with the textual flag names.
+func (t Topology) String() string {
+	switch t {
+	case TopoRing:
+		return "ring"
+	case TopoMesh:
+		return "mesh"
+	case TopoTorus:
+		return "torus"
+	}
+	return fmt.Sprintf("Topology(%d)", uint8(t))
+}
+
+// Validate rejects values outside the declared topology set.
+func (t Topology) Validate() error {
+	if t >= numTopologies {
+		return fmt.Errorf("hardware: unknown topology %d (valid: %s)",
+			uint8(t), strings.Join(TopologyNames(), "|"))
+	}
+	return nil
+}
+
+// ParseTopology maps a flag value to a Topology, listing the valid names on
+// failure so CLI validation errors are self-explanatory.
+func ParseTopology(name string) (Topology, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "ring":
+		return TopoRing, nil
+	case "mesh":
+		return TopoMesh, nil
+	case "torus":
+		return TopoTorus, nil
+	}
+	return TopoRing, fmt.Errorf("hardware: unknown topology %q (valid: %s)",
+		name, strings.Join(TopologyNames(), "|"))
+}
+
+// MarshalJSON serializes the topology as its flag name, keeping strategy
+// files human-readable and stable if the enum is ever reordered.
+func (t Topology) MarshalJSON() ([]byte, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(t.String())
+}
+
+// UnmarshalJSON accepts the flag names; an absent field stays the ring.
+func (t *Topology) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := ParseTopology(s)
+	if err != nil {
+		return err
+	}
+	*t = v
+	return nil
+}

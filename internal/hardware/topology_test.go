@@ -1,0 +1,104 @@
+package hardware
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseTopology(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Topology
+	}{
+		{"", TopoRing}, // absent flag defaults to the paper's fabric
+		{"ring", TopoRing},
+		{"Ring", TopoRing},
+		{" mesh ", TopoMesh},
+		{"MESH", TopoMesh},
+		{"torus", TopoTorus},
+	}
+	for _, c := range cases {
+		got, err := ParseTopology(c.in)
+		if err != nil {
+			t.Errorf("ParseTopology(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseTopology(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := ParseTopology("hypercube"); err == nil {
+		t.Error("ParseTopology must reject unknown names")
+	} else if !strings.Contains(err.Error(), "ring|mesh|torus") {
+		t.Errorf("parse error must list the valid names, got %q", err)
+	}
+}
+
+func TestTopologyStringValidateRoundTrip(t *testing.T) {
+	for i, name := range TopologyNames() {
+		topo := Topology(i)
+		if err := topo.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if topo.String() != name {
+			t.Errorf("Topology(%d).String() = %q, want %q", i, topo.String(), name)
+		}
+		back, err := ParseTopology(topo.String())
+		if err != nil || back != topo {
+			t.Errorf("ParseTopology(String()) does not round-trip for %s", name)
+		}
+	}
+	if err := Topology(42).Validate(); err == nil {
+		t.Error("Validate must reject out-of-range values")
+	}
+	if s := Topology(42).String(); !strings.Contains(s, "42") {
+		t.Errorf("out-of-range String() = %q, want the raw value visible", s)
+	}
+}
+
+func TestTopologyJSON(t *testing.T) {
+	b, err := json.Marshal(TopoMesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"mesh"` {
+		t.Errorf("Marshal(TopoMesh) = %s, want \"mesh\"", b)
+	}
+	var topo Topology
+	if err := json.Unmarshal([]byte(`"torus"`), &topo); err != nil || topo != TopoTorus {
+		t.Errorf("Unmarshal(\"torus\") = %v, %v", topo, err)
+	}
+	if err := json.Unmarshal([]byte(`"hypercube"`), &topo); err == nil {
+		t.Error("Unmarshal must reject unknown names")
+	}
+	if _, err := json.Marshal(Topology(42)); err == nil {
+		t.Error("Marshal must reject out-of-range values")
+	}
+}
+
+func TestConfigTupleTopologySuffix(t *testing.T) {
+	hw := CaseStudy()
+	if got := hw.Tuple(); strings.Contains(got, "@") {
+		t.Errorf("ring tuple %q must stay suffix-free (historical key compatibility)", got)
+	}
+	hw.Topology = TopoMesh
+	if got := hw.Tuple(); !strings.HasSuffix(got, "@mesh") {
+		t.Errorf("mesh tuple = %q, want @mesh suffix", got)
+	}
+	hw.Topology = TopoTorus
+	if got := hw.String(); !strings.Contains(got, "@torus") {
+		t.Errorf("torus String() = %q, want @torus visible", got)
+	}
+}
+
+func TestConfigValidateTopology(t *testing.T) {
+	hw := CaseStudy()
+	hw.Topology = TopoTorus
+	if err := hw.Validate(); err != nil {
+		t.Errorf("torus case study must validate: %v", err)
+	}
+	hw.Topology = Topology(42)
+	if err := hw.Validate(); err == nil {
+		t.Error("Config.Validate must reject an unknown topology")
+	}
+}

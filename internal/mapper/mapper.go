@@ -305,18 +305,15 @@ func temporalVariants(sh mapping.Shape) int64 {
 
 // enumerate walks the mapping space, evaluating every valid candidate
 // through the C³P engine and the runtime simulator, and yields each option.
-// It shares the subtree walker — and the degraded-ring models — with the
-// pruned search, so the two paths stay result-identical under any mask.
+// It shares the subtree walker — and the fault-masked topology models — with
+// the pruned search, so the two paths stay result-identical under any mask
+// and any fabric.
 func enumerate(l workload.Layer, hw hardware.Config, cm *hardware.CostModel, cfg Config, yield func(Option)) {
-	ring, err := noc.NewRingUnder(hw.Chiplets, cfg.Fault)
+	topo, xbar, err := noc.NewInterconnect(hw, cfg.Fault)
 	if err != nil {
 		return
 	}
-	xbar, err := noc.NewCrossbar(hw.Chiplets)
-	if err != nil {
-		return
-	}
-	num, den := ring.D2DScale()
+	num, den := topo.D2DScale()
 	consider := func(m mapping.Mapping) {
 		a, err := c3p.Analyze(l, hw, m)
 		if err != nil {
@@ -324,7 +321,7 @@ func enumerate(l workload.Layer, hw hardware.Config, cm *hardware.CostModel, cfg
 		}
 		tr := a.Traffic()
 		br := energy.FromTraffic(tr.ScaleD2D(num, den), hw, cm)
-		res, err := sim.SimulateTrafficOn(ring, xbar, a, tr)
+		res, err := sim.SimulateTrafficOn(topo, xbar, a, tr)
 		if err != nil {
 			return
 		}

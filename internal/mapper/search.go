@@ -144,35 +144,34 @@ func (b *sharedBound) update(v float64) {
 }
 
 // searchState is one worker's private scratch: the C³P analysis and its
-// buffers, the interconnect models (per worker because the simulator writes
-// the crossbar's bandwidth share), and the funnel tally. Reusing it across
+// buffers, the interconnect models, and the funnel tally. Reusing it across
 // every candidate a worker evaluates is what takes the steady-state search to
 // near-zero allocations per candidate.
 type searchState struct {
 	sc    c3p.Scratch
 	a     c3p.Analysis
-	ring  *noc.Ring
+	topo  noc.Topology
 	xbar  *noc.Crossbar
 	tally tally
 }
 
 // init builds the interconnect models; SearchAll has already rejected
-// geometries they cannot represent. The fault mask reroutes the ring around
-// dead positions (the zero mask yields the healthy ring).
+// geometries they cannot represent. The fault mask reroutes the fabric
+// around dead positions (the zero mask yields the healthy topology).
 func (ws *searchState) init(hw hardware.Config, mask hardware.FaultMask) {
-	ws.ring, _ = noc.NewRingUnder(hw.Chiplets, mask)
-	ws.xbar, _ = noc.NewCrossbar(hw.Chiplets)
+	ws.topo, ws.xbar, _ = noc.NewInterconnect(hw, mask)
 }
 
 // lowerBound prices a probe's best case for the active objective: the C³P
 // traffic floor (intrinsic fills, exact fixed terms), D2D-scaled for the
-// degraded ring, through the energy model and, for EDP, the compute-bound
-// runtime. Both models are monotone in their traffic/cycle inputs, ceil
-// scaling preserves component-wise ≤, and the floor under-counts nothing
-// negative, so the true score of every temporal variant of the probe is
-// ≥ this value — the admissibility property the pruning relies on. See
-// DESIGN.md. num/den is the ring's physical-to-logical D2D scale (1 when
-// healthy, where the bound reduces exactly to the pre-fault one).
+// topology's hop ratio, through the energy model and, for EDP, the
+// compute-bound runtime. Both models are monotone in their traffic/cycle
+// inputs, ceil scaling preserves component-wise ≤, and the floor
+// under-counts nothing negative, so the true score of every temporal variant
+// of the probe is ≥ this value — the admissibility property the pruning
+// relies on. See DESIGN.md. num/den is the fabric's physical-to-logical D2D
+// scale (noc.Topology.D2DScale: 1 on a healthy ring, where the bound reduces
+// exactly to the pre-topology one; ≥ 1 on detoured or multi-hop fabrics).
 func lowerBound(l workload.Layer, hw hardware.Config, cm *hardware.CostModel,
 	m mapping.Mapping, sh mapping.Shape, obj Objective, num, den int64) float64 {
 	floor := c3p.TrafficFloor(l, hw, m, sh).ScaleD2D(num, den)
@@ -189,8 +188,8 @@ type search struct {
 	hw  hardware.Config
 	cm  *hardware.CostModel
 	cfg Config
-	// d2dNum/d2dDen is the degraded ring's physical-to-logical D2D traffic
-	// scale (noc.Ring.D2DScale); equal when the fabric is healthy.
+	// d2dNum/d2dDen is the topology's physical-to-logical D2D traffic scale
+	// (noc.Topology.D2DScale); equal on a healthy ring.
 	d2dNum, d2dDen int64
 }
 
@@ -239,7 +238,7 @@ func (s *search) runSubtree(st subtree, ws *searchState, dest *topK, shared *sha
 					ws.tally.stagePruned++
 					continue
 				}
-				res, err := sim.SimulateTrafficOn(ws.ring, ws.xbar, &ws.a, tr)
+				res, err := sim.SimulateTrafficOn(ws.topo, ws.xbar, &ws.a, tr)
 				if err != nil {
 					ws.tally.stagePruned++
 					continue
@@ -295,15 +294,12 @@ func SearchAll(l workload.Layer, hw hardware.Config, cm *hardware.CostModel, cfg
 	}
 	// The exhaustive path rejects invalid layers, hardware and interconnect
 	// geometries per candidate; the pruned path rejects them once up front
-	// (Feasible and the hoisted ring/crossbar models assume validity).
+	// (Feasible and the hoisted topology/crossbar models assume validity).
 	if l.Validate() != nil || hw.Validate() != nil {
 		return nil
 	}
-	ring, err := noc.NewRingUnder(hw.Chiplets, cfg.Fault)
+	topo, _, err := noc.NewInterconnect(hw, cfg.Fault)
 	if err != nil {
-		return nil
-	}
-	if _, err := noc.NewCrossbar(hw.Chiplets); err != nil {
 		return nil
 	}
 	sts := subtrees(l, hw, cfg)
@@ -317,7 +313,7 @@ func SearchAll(l workload.Layer, hw hardware.Config, cm *hardware.CostModel, cfg
 		states[i].init(hw, cfg.Fault)
 		tops[i] = newTopK(cfg.KeepTop, cfg.Objective)
 	}
-	num, den := ring.D2DScale()
+	num, den := topo.D2DScale()
 	srch := &search{l: l, hw: hw, cm: cm, cfg: cfg, d2dNum: num, d2dDen: den}
 	shared := newSharedBound()
 	err = par.ParallelForWorker(context.Background(), len(sts), workers, func(w, i int) error {
@@ -382,10 +378,8 @@ func BestPerSpatialCombo(l workload.Layer, hw hardware.Config, cm *hardware.Cost
 	if l.Validate() != nil || hw.Validate() != nil {
 		return best
 	}
-	if _, err := noc.NewRing(hw.Chiplets); err != nil {
-		return best
-	}
-	if _, err := noc.NewCrossbar(hw.Chiplets); err != nil {
+	topo, _, err := noc.NewInterconnect(hw, cfg.Fault)
+	if err != nil {
 		return best
 	}
 	sts := subtrees(l, hw, cfg)
@@ -405,8 +399,12 @@ func BestPerSpatialCombo(l workload.Layer, hw hardware.Config, cm *hardware.Cost
 	for c := range bounds {
 		bounds[c] = newSharedBound()
 	}
-	srch := &search{l: l, hw: hw, cm: cm, cfg: cfg, d2dNum: 1, d2dDen: 1}
-	err := par.ParallelForWorker(context.Background(), len(sts), workers, func(w, i int) error {
+	// The topology's hop ratio keeps the bound admissible off-ring too: a
+	// healthy ring's (n, n) scale is the exact identity the old hardcoded
+	// (1, 1) was, while a mesh's multi-hop rotation prices its detours.
+	num, den := topo.D2DScale()
+	srch := &search{l: l, hw: hw, cm: cm, cfg: cfg, d2dNum: num, d2dDen: den}
+	err = par.ParallelForWorker(context.Background(), len(sts), workers, func(w, i int) error {
 		st := sts[i]
 		c := comboIndex(st.ps.kind, st.cs.kind)
 		srch.runSubtree(st, &states[w], tops[w][c], bounds[c])

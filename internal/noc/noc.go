@@ -1,5 +1,7 @@
-// Package noc models the on-package interconnect substrate of §III-A3: a
-// directional ring connecting 1–8 chiplets for the rotating transfer, and a
+// Package noc models the on-package interconnect substrate of §III-A3
+// behind the Topology interface: the paper's directional ring connecting
+// 1–8 chiplets for the rotating transfer (closed forms, the default), a 2D
+// mesh and a torus (generic shortest-path engine, see topology.go), plus a
 // crossbar attaching the chiplets to the package DRAMs.
 package noc
 
@@ -80,6 +82,52 @@ func NewRingUnder(chiplets int, mask hardware.FaultMask) (*Ring, error) {
 		r.hops = hops
 	}
 	return r, nil
+}
+
+// Kind implements Topology.
+func (r *Ring) Kind() hardware.Topology { return hardware.TopoRing }
+
+// NumChiplets implements Topology.
+func (r *Ring) NumChiplets() int { return r.Chiplets }
+
+// Hops implements Topology: the physical link count of the directed route
+// from one logical endpoint forward to another (0 when from == to).
+func (r *Ring) Hops(from, to int) int {
+	if r.hops == nil {
+		return (to - from + r.Chiplets) % r.Chiplets
+	}
+	h := 0
+	for k := from; k != to; k = (k + 1) % r.Chiplets {
+		h += r.hops[k]
+	}
+	return h
+}
+
+// LinkContention implements Topology: the ring's rotation paths partition
+// the cycle's physical links, so no link ever carries two rounds' chunks.
+func (r *Ring) LinkContention() int { return 1 }
+
+// Diameter implements Topology: the farthest endpoint pair along the
+// directed ring (Chiplets−1 when healthy).
+func (r *Ring) Diameter() int {
+	d := 0
+	for from := 0; from < r.Chiplets; from++ {
+		for to := 0; to < r.Chiplets; to++ {
+			d = max(d, r.Hops(from, to))
+		}
+	}
+	return d
+}
+
+// BroadcastCycles implements Topology: the chunk travels the diameter with a
+// per-link handshake.
+func (r *Ring) BroadcastCycles(bytes int64) int64 {
+	d := r.Diameter()
+	if bytes <= 0 || d == 0 {
+		return 0
+	}
+	per := int64(float64(bytes)/r.BytesPerCycle + 0.999999)
+	return per*int64(d) + int64(d)*HopLatencyCycles
 }
 
 // MaxHop returns the physical link count of the longest logical hop (1 on a
@@ -181,12 +229,27 @@ func NewCrossbar(chiplets int) (*Crossbar, error) {
 // maximum number of chiplets contending for the same data (Fig 8) and
 // serializes that fraction of the traffic.
 func (x *Crossbar) LoadCycles(perChipletBytes int64, conflictDegree int) int64 {
+	return LoadCyclesAt(perChipletBytes, x.BytesPerCycle, conflictDegree)
+}
+
+// ChannelShare returns each chiplet's share of the fixed package DRAM
+// system: the package-level bandwidth divided across the channels. The
+// simulator streams each chiplet's loads at this rate without mutating the
+// crossbar's per-channel BytesPerCycle.
+func (x *Crossbar) ChannelShare() float64 {
+	return hardware.PackageDRAMBytesPerCycle / float64(x.Channels)
+}
+
+// LoadCyclesAt is LoadCycles at an explicit channel bandwidth, so callers
+// evaluating a derived rate (e.g. the per-chiplet ChannelShare) need not
+// write it into shared crossbar state.
+func LoadCyclesAt(perChipletBytes int64, bytesPerCycle float64, conflictDegree int) int64 {
 	if perChipletBytes <= 0 {
 		return 0
 	}
 	if conflictDegree < 1 {
 		conflictDegree = 1
 	}
-	eff := x.BytesPerCycle / float64(conflictDegree)
+	eff := bytesPerCycle / float64(conflictDegree)
 	return int64(float64(perChipletBytes)/eff + 0.999999)
 }

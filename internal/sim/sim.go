@@ -47,25 +47,20 @@ func Simulate(a *c3p.Analysis) (Result, error) {
 // when metrics are enabled.
 func SimulateTraffic(a *c3p.Analysis, tr c3p.Traffic) (Result, error) {
 	defer obs.Time("sim.pipeline")()
-	hw := a.HW
-	ring, err := noc.NewRing(hw.Chiplets)
+	topo, xbar, err := noc.NewInterconnect(a.HW, hardware.FaultMask{})
 	if err != nil {
 		return Result{}, err
 	}
-	xbar, err := noc.NewCrossbar(hw.Chiplets)
-	if err != nil {
-		return Result{}, err
-	}
-	return SimulateTrafficOn(ring, xbar, a, tr)
+	return SimulateTrafficOn(topo, xbar, a, tr)
 }
 
 // SimulateTrafficOn is SimulateTraffic with the interconnect models supplied
-// by the caller, for hot loops that evaluate many mappings against one
-// hardware configuration: constructing the ring and crossbar once per search
-// instead of once per candidate keeps the per-candidate path allocation-free.
-// The ring and crossbar must match a.HW.Chiplets. The crossbar's BytesPerCycle
-// is overwritten with the per-chiplet DRAM share.
-func SimulateTrafficOn(ring *noc.Ring, xbar *noc.Crossbar, a *c3p.Analysis, tr c3p.Traffic) (Result, error) {
+// by the caller (noc.NewInterconnect), for hot loops that evaluate many
+// mappings against one hardware configuration: constructing the topology and
+// crossbar once per search instead of once per candidate keeps the
+// per-candidate path allocation-free. The topology and crossbar must match
+// a.HW.Chiplets; neither is mutated, so one pair may serve concurrent calls.
+func SimulateTrafficOn(topo noc.Topology, xbar *noc.Crossbar, a *c3p.Analysis, tr c3p.Traffic) (Result, error) {
 	hw := a.HW
 	s := a.Shape
 	l := a.Layer
@@ -89,15 +84,14 @@ func SimulateTrafficOn(ring *noc.Ring, xbar *noc.Crossbar, a *c3p.Analysis, tr c
 		// chiplets and contends at the crossbar.
 		conflict = 2
 	}
-	// Each chiplet's share of the fixed package memory system.
-	share := hardware.PackageDRAMBytesPerCycle / float64(hw.Chiplets)
-	xbar.BytesPerCycle = share
-	loadPerPos := xbar.LoadCycles(dramPerPos, conflict)
-	d2dCycles := ring.HopCycles(d2dPerPos)
+	// Each chiplet streams at its share of the fixed package memory system.
+	loadPerPos := noc.LoadCyclesAt(dramPerPos, xbar.ChannelShare(), conflict)
+	d2dCycles := topo.HopCycles(d2dPerPos)
 	if d2dPerPos > 0 {
-		// Rotation rounds synchronize the whole ring once per logical hop;
-		// on a degraded ring the longest detour gates every round.
-		d2dCycles += int64(ring.Rounds()) * ring.RoundSyncCycles()
+		// Rotation rounds synchronize the whole fabric once per logical hop;
+		// the longest detour (and, off-ring, the busiest shared link) gates
+		// every round.
+		d2dCycles += int64(topo.Rounds()) * topo.RoundSyncCycles()
 	}
 	loadPerPos = max(loadPerPos, d2dCycles)
 	loadPerPos = max(loadPerPos, int64(float64(busPerPos)/hardware.BusBytesPerCycle+0.999999))

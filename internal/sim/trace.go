@@ -143,11 +143,11 @@ func positionsFor(m mapping.Mapping, hop, wop, cop int) []position {
 func Trace(a *c3p.Analysis, maxEvents int) (TraceResult, error) {
 	defer obs.Time("sim.trace")()
 	hw, l, m := a.HW, a.Layer, a.Map
-	ring, err := noc.NewRing(hw.Chiplets)
+	topo, xbar, err := noc.NewInterconnect(hw, hardware.FaultMask{})
 	if err != nil {
 		return TraceResult{}, err
 	}
-	dramShare := hardware.PackageDRAMBytesPerCycle / float64(hw.Chiplets)
+	dramShare := xbar.ChannelShare()
 
 	res := TraceResult{PerChiplet: make([]int64, hw.Chiplets)}
 	var totalBusy int64
@@ -161,7 +161,7 @@ func Trace(a *c3p.Analysis, maxEvents int) (TraceResult, error) {
 		keep := c == 0 && maxEvents > 0
 		for pi, p := range positions {
 			loadCycles := loadTime(a, dramShare, p)
-			rotCycles := rotationTime(a, ring, p)
+			rotCycles := rotationTime(a, topo, p)
 			// The load engine streams into the shadow buffer as soon as it
 			// is free; compute for position pi starts when both the load
 			// finishes and the array drains position pi−1.
@@ -224,9 +224,9 @@ func loadTime(a *c3p.Analysis, dramShare float64, p position) int64 {
 	return int64(float64(bytes)/dramShare + 0.999999)
 }
 
-// rotationTime returns the ring cycles for the rotating transfer of one
-// exact position.
-func rotationTime(a *c3p.Analysis, ring *noc.Ring, p position) int64 {
+// rotationTime returns the interconnect cycles for the rotating transfer of
+// one exact position.
+func rotationTime(a *c3p.Analysis, ring noc.Topology, p position) int64 {
 	if !a.Map.Rotate || a.HW.Chiplets <= 1 {
 		return 0
 	}
