@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench benchall bench-smoke vet race fuzz chaos check equiv lint degradation topo-equiv
+.PHONY: build test bench benchall bench-smoke vet race fuzz chaos check equiv lint degradation topo-equiv serve
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 # the numbers to BENCH_mapper.json (via cmd/benchjson), including the derived
 # exhaustive-vs-pruned speedup and allocation ratios.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkSearchLayer|BenchmarkEngineEvalModelResNet50' -benchmem -count=1 . \
+	$(GO) test -run '^$$' -bench 'BenchmarkSearchLayer|BenchmarkEngineEvalModelResNet50|BenchmarkServeReferenceTrace' -benchmem -count=1 . \
 		| $(GO) run ./cmd/benchjson -o BENCH_mapper.json
 	@cat BENCH_mapper.json
 
@@ -60,13 +60,22 @@ topo-equiv:
 	$(GO) test -race -count=1 -run 'TestGenericRing|TestMeshTorus|TestGridDims|TestTopologyConstructorErrors|TestDegradedMeshReroutes|TestNewInterconnect|TestParseTopology|TestTopology|TestConfigTupleTopologySuffix|TestConfigValidateTopology|TestSimZooRingGenericEquivalence|TestCacheKeyTopologySeparation|TestEvalTopologyCostOrdering|TestGranularityTopologyAxis|TestGranularityMeshCostsAtLeastRing' \
 		./internal/noc ./internal/hardware ./internal/sim ./internal/engine ./internal/dse
 
+# serve is the serving-simulation determinism gate: trace parsing, DES
+# batching/queueing semantics, the single-request EvalModel identity, and the
+# byte-identical-report invariant across engine worker counts and repeated
+# runs (healthy and degraded), all under the race detector.
+serve:
+	$(GO) test -race -count=1 -run 'TestParseTrace|TestWriteTrace|TestReferenceTrace|TestSimulate|TestConfigValidate|TestSingleRequestLatencyEqualsEvalModel|TestBuildOracle|TestServeReport' ./internal/serve
+
 race:
 	$(GO) test -race ./...
 
-# fuzz is a short smoke run of the model-description parser fuzzer — long
-# enough to re-find the historical zero-stride crashers, short enough for CI.
+# fuzz is a short smoke run of the parser fuzzers — long enough to re-find
+# the historical zero-stride crashers, short enough for CI. Covers the
+# model-description parser and the serving arrival-trace parser.
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/workload
+	$(GO) test -fuzz=FuzzParseTrace -fuzztime=10s ./internal/serve
 
 # chaos runs the fault-injection suite under the race detector: injected
 # panics, deadline overruns, transient errors, mid-sweep cancellations and

@@ -25,6 +25,7 @@ package nnbaton
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"nnbaton/internal/c3p"
 	"nnbaton/internal/ckpt"
@@ -39,6 +40,7 @@ import (
 	"nnbaton/internal/obs"
 	"nnbaton/internal/pipeline"
 	"nnbaton/internal/report"
+	"nnbaton/internal/serve"
 	"nnbaton/internal/simba"
 	"nnbaton/internal/workload"
 )
@@ -448,6 +450,71 @@ func (b *Baton) MapModelDegraded(ctx context.Context, m Model, hw Hardware, mask
 // a checkpoint journal configured, completed scenarios replay on resume.
 func (b *Baton) DegradationSweep(ctx context.Context, m Model, hw Hardware, masks []FaultMask) ([]ScenarioPoint, error) {
 	return b.eng.DegradationSweep(ctx, []Model{m}, hw, masks, mapper.Config{})
+}
+
+// Serving re-exports (internal/serve): the trace-driven serving flow that
+// turns one-shot evaluations into traffic.
+type (
+	// ServingTrace is an ordered arrival trace of inference requests.
+	ServingTrace = serve.Trace
+	// ServingRequest is one arrival: net index, injection time, model,
+	// input count.
+	ServingRequest = serve.Request
+	// ServingConfig is the batching/queueing policy of a serving run.
+	ServingConfig = serve.Config
+	// ServingOracle holds per-model single-inference service times for one
+	// (possibly degraded) fabric scenario.
+	ServingOracle = serve.Oracle
+	// ServingResult is the latency/throughput/utilization outcome of
+	// replaying one trace against one scenario.
+	ServingResult = serve.Result
+)
+
+// ParseServingTrace reads the CHIPSIM-style arrival-trace CSV
+// (net_idx,inject_time_us,network,num_inputs) with line-numbered errors.
+func ParseServingTrace(r io.Reader) (ServingTrace, error) { return serve.ParseTrace(r) }
+
+// ReferenceServingTrace generates the deterministic mixed-model reference
+// trace of the serving benchmarks.
+func ReferenceServingTrace(n int, meanGapUS float64, models ...string) ServingTrace {
+	return serve.ReferenceTrace(n, meanGapUS, models...)
+}
+
+// RenderServing writes the scenario-comparison table and per-model
+// breakdowns of serving results; the output is byte-stable.
+func RenderServing(w io.Writer, title string, results []ServingResult) error {
+	return serve.Render(w, title, results)
+}
+
+// ServeTrace replays an arrival trace on a (possibly degraded) fabric: the
+// engine evaluates each traced model once per scenario (memoized), and the
+// deterministic discrete-event loop applies the batching/queueing policy.
+// The zero mask serves on the healthy fabric.
+func (b *Baton) ServeTrace(ctx context.Context, t ServingTrace, models []Model, hw Hardware, mask FaultMask, cfg ServingConfig) (ServingResult, error) {
+	o, err := serve.BuildOracle(ctx, b.eng, models, hw, mask, mapper.Config{})
+	if err != nil {
+		return ServingResult{}, err
+	}
+	return serve.Simulate(t, o, cfg)
+}
+
+// ServeTraceScenarios replays one trace across a list of fault scenarios
+// through the engine's journaled sweep path: scenarios evaluate in parallel
+// sharing the search cache, results are indexed by the mask list
+// (byte-identical across worker counts), and with a checkpoint journal
+// configured, completed scenario evaluations replay on resume.
+func (b *Baton) ServeTraceScenarios(ctx context.Context, t ServingTrace, models []Model, hw Hardware, masks []FaultMask, cfg ServingConfig) ([]ServingResult, error) {
+	oracles, err := serve.BuildOracles(ctx, b.eng, models, hw, masks, mapper.Config{})
+	if err != nil {
+		return nil, err
+	}
+	results := make([]ServingResult, len(oracles))
+	for i, o := range oracles {
+		if results[i], err = serve.Simulate(t, o, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }
 
 // DegradationRows converts scenario points to degradation-curve table rows

@@ -20,6 +20,7 @@ import (
 	"nnbaton/internal/mapper"
 	"nnbaton/internal/mapping"
 	"nnbaton/internal/obs"
+	"nnbaton/internal/serve"
 	"nnbaton/internal/simba"
 	"nnbaton/internal/workload"
 )
@@ -449,6 +450,38 @@ func BenchmarkEngineEvalModelResNet50WarmObserved(b *testing.B) {
 			b.Fatal("incomplete mapping")
 		}
 	}
+}
+
+// BenchmarkServeReferenceTrace replays the reference serving trace against a
+// pre-built healthy oracle: the discrete-event loop alone, the steady state
+// of a long-lived serving process whose engine cache is warm. The extra
+// metric commits the simulated serving throughput (requests per second of
+// span) to BENCH_mapper.json — it is deterministic, so drift means the DES
+// or the mapper changed, not the machine.
+func BenchmarkServeReferenceTrace(b *testing.B) {
+	eng := engine.New(benchCM)
+	hw := CaseStudyHardware()
+	models := []workload.Model{AlexNet(224), DarkNet19(224)}
+	oracle, err := serve.BuildOracle(context.Background(), eng, models, hw, hardware.FaultMask{}, mapper.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := serve.ReferenceTrace(200, 2500, "alexnet", "darknet19")
+	cfg := serve.Config{MaxBatch: 8, WindowUS: 500, Alpha: 0.8}
+	b.ResetTimer()
+	b.ReportAllocs()
+	var rps float64
+	for i := 0; i < b.N; i++ {
+		res, err := serve.Simulate(tr, oracle, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Requests != 200 {
+			b.Fatal("lost requests")
+		}
+		rps = res.ThroughputRPS
+	}
+	b.ReportMetric(rps, "req/s")
 }
 
 // BenchmarkEngineGranularityCold runs the reduced Fig 14 sweep on a fresh

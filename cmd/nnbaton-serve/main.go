@@ -1,0 +1,247 @@
+// Command nnbaton-serve replays an inference arrival trace against a
+// (possibly degraded) multichip package: a discrete-event loop applies a
+// batching/queueing policy on top of the analytical engine's per-inference
+// service times and reports tail latency, throughput and fabric utilization
+// per fault scenario.
+//
+// Usage:
+//
+//	nnbaton-serve -trace requests.csv -batch 8 -window 500
+//	nnbaton-serve -requests 200 -gap 2000 -faults "healthy;chiplet1;chiplet1,freq90%"
+//
+// The trace format is the CHIPSIM-style CSV
+// "net_idx,inject_time_us,network,num_inputs"; without -trace a deterministic
+// reference trace is generated from -requests/-gap/-mix.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"nnbaton"
+	"nnbaton/internal/hardware"
+	"nnbaton/internal/obs"
+	"nnbaton/internal/workload"
+)
+
+// options collects the flag values of one invocation.
+type options struct {
+	trace    string
+	requests int
+	gapUS    float64
+	mix      string
+	res      int
+
+	chiplets int
+	cores    int
+	lanes    int
+	vector   int
+	topology string
+	faults   string
+
+	batch    int
+	windowUS float64
+	alpha    float64
+
+	stats      bool
+	metrics    string
+	pprofAddr  string
+	timeout    time.Duration
+	retries    int
+	checkpoint string
+	resume     bool
+}
+
+// validate rejects nonsense flag values before any work starts.
+func (o options) validate() error {
+	if o.trace == "" && o.requests <= 0 {
+		return fmt.Errorf("-requests must be positive when no -trace file is given")
+	}
+	if o.trace == "" && o.gapUS <= 0 {
+		return fmt.Errorf("-gap must be positive microseconds")
+	}
+	if o.windowUS < 0 {
+		return fmt.Errorf("-window must be non-negative microseconds")
+	}
+	if o.alpha < 0 || o.alpha > 1 {
+		return fmt.Errorf("-alpha must be in (0,1] (0 selects the default 1)")
+	}
+	if o.timeout < 0 {
+		return fmt.Errorf("-timeout must be non-negative, got %v", o.timeout)
+	}
+	if o.retries < 0 {
+		return fmt.Errorf("-retries must be non-negative, got %d", o.retries)
+	}
+	if o.resume && o.checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if _, err := nnbaton.ParseTopology(o.topology); err != nil {
+		return fmt.Errorf("-topology: %w", err)
+	}
+	return nil
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.trace, "trace", "", "arrival-trace CSV (net_idx,inject_time_us,network,num_inputs); empty generates a reference trace")
+	flag.IntVar(&o.requests, "requests", 120, "reference trace: number of requests")
+	flag.Float64Var(&o.gapUS, "gap", 2500, "reference trace: mean inter-arrival gap in microseconds")
+	flag.StringVar(&o.mix, "mix", "alexnet,darknet19", "reference trace: comma-separated model mix")
+	flag.IntVar(&o.res, "res", 224, "input resolution every traced model is loaded at (224 or 512)")
+	flag.IntVar(&o.chiplets, "chiplets", 0, "override: chiplets per package")
+	flag.IntVar(&o.cores, "cores", 0, "override: cores per chiplet")
+	flag.IntVar(&o.lanes, "lanes", 0, "override: lanes per core")
+	flag.IntVar(&o.vector, "vector", 0, "override: vector-MAC size")
+	flag.StringVar(&o.topology, "topology", "ring", "on-package interconnect: "+strings.Join(hardware.TopologyNames(), "|"))
+	flag.StringVar(&o.faults, "faults", "healthy", "semicolon-separated fault scenarios to serve under (each a spec like 'chiplet2,cores3@1,freq90%' or 'healthy')")
+	flag.IntVar(&o.batch, "batch", 8, "max inputs per launched batch (<= 0 unlimited)")
+	flag.Float64Var(&o.windowUS, "window", 500, "batching window in microseconds, anchored at the head-of-line arrival")
+	flag.Float64Var(&o.alpha, "alpha", 0.8, "marginal batch cost per extra input in (0,1]; 0 selects 1 (no amortization)")
+	flag.BoolVar(&o.stats, "stats", false, "print engine search-cache statistics after the run")
+	flag.StringVar(&o.metrics, "metrics", "", "write per-phase timing and engine cache metrics as JSON to this file on exit")
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	flag.DurationVar(&o.timeout, "timeout", 0, "per-point search deadline (e.g. 30s); 0 disables")
+	flag.IntVar(&o.retries, "retries", 0, "max re-attempts after a retryable point failure (panic, deadline, transient)")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "journal completed scenario evaluations to this JSONL file (crash-safe)")
+	flag.BoolVar(&o.resume, "resume", false, "replay scenarios already journaled in the -checkpoint file instead of re-evaluating them")
+	flag.Parse()
+	if err := o.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "nnbaton-serve:", err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, o); err != nil {
+		fmt.Fprintln(os.Stderr, "nnbaton-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// loadTrace reads the -trace file or generates the reference trace.
+func loadTrace(o options) (nnbaton.ServingTrace, error) {
+	if o.trace == "" {
+		var mix []string
+		for _, m := range strings.Split(o.mix, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				mix = append(mix, m)
+			}
+		}
+		return nnbaton.ReferenceServingTrace(o.requests, o.gapUS, mix...), nil
+	}
+	f, err := os.Open(o.trace)
+	if err != nil {
+		return nnbaton.ServingTrace{}, err
+	}
+	defer f.Close()
+	return nnbaton.ParseServingTrace(f)
+}
+
+// fabric builds the package configuration from the case study plus overrides.
+func fabric(o options) nnbaton.Hardware {
+	hw := nnbaton.CaseStudyHardware()
+	if o.chiplets > 0 || o.cores > 0 || o.lanes > 0 || o.vector > 0 {
+		if o.chiplets > 0 {
+			hw.Chiplets = o.chiplets
+		}
+		if o.cores > 0 {
+			hw.Cores = o.cores
+		}
+		if o.lanes > 0 {
+			hw.Lanes = o.lanes
+		}
+		if o.vector > 0 {
+			hw.Vector = o.vector
+		}
+		hw = hardware.Config{Chiplets: hw.Chiplets, Cores: hw.Cores, Lanes: hw.Lanes, Vector: hw.Vector}.
+			WithProportionalMemory(hardware.DefaultProportion())
+	}
+	hw.Topology, _ = nnbaton.ParseTopology(o.topology) // validated on line one
+	return hw
+}
+
+func run(ctx context.Context, o options) error {
+	if o.pprofAddr != "" {
+		addr, err := obs.ServePprof(o.pprofAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", addr)
+	}
+	tr, err := loadTrace(o)
+	if err != nil {
+		return err
+	}
+	hw := fabric(o)
+	models := make([]nnbaton.Model, 0, len(tr.Models()))
+	for _, name := range tr.Models() {
+		m, err := workload.Load(name, o.res)
+		if err != nil {
+			return err
+		}
+		models = append(models, m)
+	}
+	var reg *obs.Registry
+	if o.metrics != "" {
+		reg = obs.NewRegistry()
+		obs.SetDefault(reg) // capture serve.simulate and engine phases too
+		defer func() {
+			if err := reg.WriteFile(o.metrics); err != nil {
+				fmt.Fprintln(os.Stderr, "nnbaton-serve:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "wrote metrics to %s\n", o.metrics)
+			}
+		}()
+	}
+	var journal *nnbaton.Checkpoint
+	if o.checkpoint != "" {
+		journal, err = nnbaton.OpenCheckpoint(o.checkpoint, o.resume)
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		if o.resume {
+			fmt.Fprintf(os.Stderr, "resuming from %s: %d journaled points\n", o.checkpoint, journal.Len())
+		}
+	}
+	tool := nnbaton.NewWithConfig(nnbaton.EngineConfig{
+		PointTimeout: o.timeout,
+		MaxRetries:   o.retries,
+		Registry:     reg,
+		Journal:      journal,
+	})
+	defer func() {
+		if o.stats {
+			fmt.Fprintln(os.Stderr, tool.EngineStats())
+		}
+	}()
+	policy := nnbaton.ServingConfig{MaxBatch: o.batch, WindowUS: o.windowUS, Alpha: o.alpha}
+	var masks []nnbaton.FaultMask
+	for _, spec := range strings.Split(o.faults, ";") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		mask, err := nnbaton.ParseFault(spec, hw)
+		if err != nil {
+			return err
+		}
+		masks = append(masks, mask)
+	}
+	if len(masks) == 0 {
+		return fmt.Errorf("-faults lists no scenario")
+	}
+	// The journaled sweep path evaluates scenarios in parallel on the shared
+	// search cache and, with -checkpoint, replays completed ones on -resume.
+	results, err := tool.ServeTraceScenarios(ctx, tr, models, hw, masks, policy)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Serving %d requests (%d inputs) on %s (batch<=%d, window %.0fus, alpha %.1f)",
+		len(tr.Requests), tr.Inputs(), hw.Tuple(), policy.MaxBatch, policy.WindowUS, policy.Alpha)
+	return nnbaton.RenderServing(os.Stdout, title, results)
+}

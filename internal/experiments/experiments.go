@@ -99,6 +99,7 @@ func All() []Experiment {
 		{"ext-mobilenet", "Extension: grouped-convolution mapping (MobileNetV2)", extMobileNet},
 		{"ext-degradation", "Extension: graceful degradation of ResNet-50 under a seeded yield series", extDegradation},
 		{"ext-topology", "Extension: interconnect topology comparison (ring vs mesh vs torus)", extTopology},
+		{"ext-serving", "Extension: serving-trace simulation (batching + queueing) on healthy and degraded fabrics", extServing},
 	}
 }
 

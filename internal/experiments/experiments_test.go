@@ -8,7 +8,7 @@ import (
 func TestAllRegistry(t *testing.T) {
 	all := All()
 	want := []string{"table1", "table2", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-		"ext-fusion", "ext-cost", "ext-layout", "ext-mobilenet", "ext-degradation", "ext-topology"}
+		"ext-fusion", "ext-cost", "ext-layout", "ext-mobilenet", "ext-degradation", "ext-topology", "ext-serving"}
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
 	}
@@ -105,6 +105,7 @@ func TestHeavyExperimentsQuick(t *testing.T) {
 		"fig14":         {"EDP", "2048-MAC"},
 		"ext-fusion":    {"fused edges", "DarkNet-19"},
 		"ext-mobilenet": {"depthwise", "dense"},
+		"ext-serving":   {"healthy", "cores1@0", "req/s", "p99"},
 	}
 	for _, e := range All() {
 		wants, ok := checks[e.ID]

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"nnbaton/internal/hardware"
+	"nnbaton/internal/mapper"
+	"nnbaton/internal/serve"
+	"nnbaton/internal/workload"
+)
+
+// extServing turns the one-shot evaluation flow into traffic: a deterministic
+// reference arrival trace of mixed AlexNet/DarkNet-19 requests is replayed
+// against the case-study package healthy and under two fault scenarios (one
+// dead core, one dead chiplet with a derated clock), with the memoized engine
+// supplying per-inference service times. The serving report exposes what the
+// single-inference tables cannot: tail latency and fabric utilization under
+// queueing and batching, and how gracefully they degrade when the same trace
+// hits a wounded fabric. Everything — trace, oracle, discrete-event loop —
+// is deterministic, so the table is byte-identical across runs and engine
+// worker counts.
+func extServing(w io.Writer, quick bool) error {
+	ctx, hw := context.Background(), caseHW()
+	res, n, gapUS := 224, 120, 2500.0
+	if quick {
+		res, n, gapUS = 64, 30, 2500.0
+	}
+	var models []workload.Model
+	for _, name := range []string{"alexnet", "darknet19"} {
+		m, err := workload.Load(name, res)
+		if err != nil {
+			return err
+		}
+		models = append(models, m)
+	}
+	tr := serve.ReferenceTrace(n, gapUS, "alexnet", "darknet19")
+	policy := serve.Config{MaxBatch: 8, WindowUS: 500, Alpha: 0.8}
+	masks := []hardware.FaultMask{{}}
+	for _, spec := range []string{"cores1@0", "chiplet1,freq90%"} {
+		mask, err := hardware.ParseFaultMask(spec, hw)
+		if err != nil {
+			return err
+		}
+		masks = append(masks, mask)
+	}
+	oracles, err := serve.BuildOracles(ctx, eng, models, hw, masks, mapper.Config{})
+	if err != nil {
+		return err
+	}
+	var results []serve.Result
+	for _, o := range oracles {
+		r, err := serve.Simulate(tr, o, policy)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	title := fmt.Sprintf("Extension: serving a %d-request trace on %s (batch<=%d, window %.0fus, alpha %.1f)",
+		n, hw.Tuple(), policy.MaxBatch, policy.WindowUS, policy.Alpha)
+	return serve.Render(w, title, results)
+}

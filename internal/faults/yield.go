@@ -1,11 +1,18 @@
 // Yield modeling: deterministic fault-scenario generation for the
 // graceful-degradation sweeps. A YieldModel turns per-die defect
 // probabilities and a seed into fault masks (hardware.FaultMask) — either a
-// single sampled package (Sample) or an escalating series (Series) whose
-// step k has exactly k more failed units than step k−1. Everything is driven
-// by a seeded math/rand source consumed in a fixed order, so a series is a
-// pure function of (seed, probabilities, configuration): byte-identical
-// across runs, worker counts and checkpoint resumes.
+// single sampled package (Sample / SampleAt) or an escalating series
+// (Series) whose step k has exactly k more failed units than step k−1.
+// Everything is driven by seeded math/rand sources consumed in a fixed
+// order, so every draw is a pure function of (seed, probabilities,
+// configuration, purpose, index): byte-identical across runs, worker counts
+// and checkpoint resumes.
+//
+// Each entry point draws from its own purpose-mixed sub-stream — Sample and
+// Series never share a generator, and SampleAt(i) mixes the draw index into
+// its sub-seed — so repeated samples are independent draws and Sample/Series
+// results are uncorrelated, while determinism per (seed, purpose, index) is
+// preserved.
 package faults
 
 import (
@@ -14,6 +21,23 @@ import (
 
 	"nnbaton/internal/hardware"
 )
+
+// Stream purpose tags, mixed into the sub-seed so distinct entry points
+// consume distinct random streams from one model seed.
+const (
+	purposeSample uint64 = 0x53616d706c65 // "Sample"
+	purposeSeries uint64 = 0x536572696573 // "Series"
+)
+
+// subSeed derives an independent deterministic sub-seed from the model seed,
+// a purpose tag and a draw index, via the splitmix64 finalizer (weak seeds
+// like 0/1/2 still yield well-separated streams).
+func (y YieldModel) subSeed(purpose uint64, index int) int64 {
+	z := uint64(y.Seed) ^ purpose ^ (uint64(index)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
 
 // YieldModel parameterizes the defect process of §I's yield argument: small
 // dies survive fabrication defects that kill monolithic ones.
@@ -45,13 +69,22 @@ func (y YieldModel) Validate() error {
 	return nil
 }
 
-// Sample draws one degraded package: each chiplet is dead with probability
-// ChipletDefect, each core of a surviving chiplet dead with probability
-// CoreDefect, in fixed position order. A draw that kills every chiplet
-// resurrects the lowest position (a package with no survivor is not a
-// scenario, it is a discard — and keeping the draw deterministic matters
-// more than its tail fidelity). The returned mask is canonical.
+// Sample draws one degraded package — SampleAt with draw index 0.
 func (y YieldModel) Sample(hw hardware.Config) (hardware.FaultMask, error) {
+	return y.SampleAt(hw, 0)
+}
+
+// SampleAt draws the index-th degraded package of the model's sample stream:
+// each chiplet is dead with probability ChipletDefect, each core of a
+// surviving chiplet dead with probability CoreDefect, in fixed position
+// order. Distinct indices are independent draws (the index is mixed into the
+// sub-seed), and the same (seed, index) always returns the same mask; the
+// sample stream is decorrelated from the Series stream by a purpose tag. A
+// draw that kills every chiplet resurrects the lowest position (a package
+// with no survivor is not a scenario, it is a discard — and keeping the draw
+// deterministic matters more than its tail fidelity). The returned mask is
+// canonical.
+func (y YieldModel) SampleAt(hw hardware.Config, index int) (hardware.FaultMask, error) {
 	if err := y.Validate(); err != nil {
 		return hardware.FaultMask{}, err
 	}
@@ -61,7 +94,10 @@ func (y YieldModel) Sample(hw hardware.Config) (hardware.FaultMask, error) {
 	if hw.Chiplets > hardware.MaxChiplets {
 		return hardware.FaultMask{}, fmt.Errorf("faults: yield model supports at most %d chiplets, config has %d", hardware.MaxChiplets, hw.Chiplets)
 	}
-	rng := rand.New(rand.NewSource(y.Seed))
+	if index < 0 {
+		return hardware.FaultMask{}, fmt.Errorf("faults: negative sample index %d", index)
+	}
+	rng := rand.New(rand.NewSource(y.subSeed(purposeSample, index)))
 	m := hardware.FaultMask{Chiplets: uint8(hw.Chiplets)}
 	for i := 0; i < hw.Chiplets; i++ {
 		if rng.Float64() < y.ChipletDefect {
@@ -109,7 +145,7 @@ func (y YieldModel) Series(hw hardware.Config, steps int) ([]hardware.FaultMask,
 	if steps < 0 {
 		return nil, fmt.Errorf("faults: negative step count %d", steps)
 	}
-	rng := rand.New(rand.NewSource(y.Seed))
+	rng := rand.New(rand.NewSource(y.subSeed(purposeSeries, 0)))
 	cur := hardware.FaultMask{Chiplets: uint8(hw.Chiplets)}
 	out := []hardware.FaultMask{{}}
 

@@ -129,6 +129,70 @@ func TestYieldSample(t *testing.T) {
 	}
 }
 
+func TestYieldSampleAtIndependentDraws(t *testing.T) {
+	hw := hardware.CaseStudy()
+	y := YieldModel{Seed: 5, ChipletDefect: 0.3, CoreDefect: 0.3}
+	// SampleAt(0) is exactly Sample.
+	s0, err := y.Sample(hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0, err := y.SampleAt(hw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0 != a0 {
+		t.Errorf("SampleAt(0) = %s, Sample = %s", a0, s0)
+	}
+	// Distinct indices are independent draws: across a handful of indices at
+	// these probabilities at least two masks must differ (the historical bug
+	// made every draw identical).
+	distinct := map[hardware.FaultMask]bool{}
+	for i := 0; i < 8; i++ {
+		m, err := y.SampleAt(hw, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := y.SampleAt(hw, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != again {
+			t.Fatalf("SampleAt(%d) not deterministic: %s vs %s", i, m, again)
+		}
+		distinct[m] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("8 indexed samples produced a single mask %v — draws are not independent", distinct)
+	}
+	if _, err := y.SampleAt(hw, -1); err == nil {
+		t.Error("negative sample index must be rejected")
+	}
+}
+
+func TestYieldStreamSeedsDecorrelated(t *testing.T) {
+	// The purpose tag and the draw index must each move the sub-seed — the
+	// historical bug reseeded every entry point from the raw Seed, fully
+	// correlating Sample with Series and every Sample with the next.
+	y := DefaultYield(42)
+	sample0 := y.subSeed(purposeSample, 0)
+	sample1 := y.subSeed(purposeSample, 1)
+	series0 := y.subSeed(purposeSeries, 0)
+	if sample0 == series0 {
+		t.Error("Sample and Series sub-seeds coincide")
+	}
+	if sample0 == sample1 {
+		t.Error("indexed sample sub-seeds coincide")
+	}
+	if sample0 == y.Seed || series0 == y.Seed {
+		t.Error("sub-seed equals the raw model seed (no mixing)")
+	}
+	// Weak neighboring seeds stay separated per purpose.
+	if DefaultYield(0).subSeed(purposeSample, 0) == DefaultYield(1).subSeed(purposeSample, 0) {
+		t.Error("neighboring model seeds collide after mixing")
+	}
+}
+
 func TestYieldValidation(t *testing.T) {
 	hw := hardware.CaseStudy()
 	if _, err := (YieldModel{ChipletDefect: 1.0}).Series(hw, 3); err == nil {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table is a titled, column-aligned text table.
@@ -38,7 +39,9 @@ func (t *Table) Addf(cells ...interface{}) {
 	t.Add(row...)
 }
 
-// widths computes per-column display widths.
+// widths computes per-column display widths in runes — a byte count would
+// misalign any column holding a multi-byte cell (µJ, ×, —), and fmt's %-*s
+// padding already counts runes.
 func (t *Table) widths() []int {
 	w := make([]int, len(t.Header))
 	grow := func(row []string) {
@@ -46,7 +49,7 @@ func (t *Table) widths() []int {
 			if i >= len(w) {
 				w = append(w, 0)
 			}
-			w[i] = max(w[i], len(c))
+			w[i] = max(w[i], utf8.RuneCountInString(c))
 		}
 	}
 	grow(t.Header)
@@ -82,7 +85,9 @@ func (t *Table) Render(w io.Writer) error {
 		if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
 			return err
 		}
-		rule := make([]string, len(t.Header))
+		// The rule spans every column, including ones contributed by rows
+		// ragged past the header, so it never renders truncated.
+		rule := make([]string, len(ws))
 		for i := range rule {
 			rule[i] = strings.Repeat("-", ws[i])
 		}

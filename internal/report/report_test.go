@@ -3,6 +3,7 @@ package report
 import (
 	"strings"
 	"testing"
+	"unicode/utf8"
 )
 
 func TestTableRendering(t *testing.T) {
@@ -33,6 +34,61 @@ func TestTableRendering(t *testing.T) {
 	for i, ln := range lines {
 		if ln != strings.TrimRight(ln, " ") {
 			t.Errorf("line %d has trailing spaces: %q", i, ln)
+		}
+	}
+}
+
+func TestTableNonASCIIAlignment(t *testing.T) {
+	// Multi-byte cells (µ, ×, —) must align by rune count, not byte count:
+	// "2.5 µJ" is 7 bytes but 6 runes wide.
+	tb := New("units", "name", "energy", "note")
+	tb.Add("short", "2.5 µJ", "x")
+	tb.Add("longer-name", "1.0 µJ", "y")
+	tb.Add("ascii", "3.0 uJ", "z")
+	out := tb.String()
+	// "2.5 µJ" is 6 runes — exactly the header's width — so the cell must be
+	// followed by exactly the 2-space gutter. A byte-based width (7) would
+	// over-pad the column by one space.
+	if !strings.Contains(out, "2.5 µJ  x") {
+		t.Errorf("µJ column over-padded (byte-based width?):\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// The third column starts at the same rune offset on every row.
+	wantOff := -1
+	for i, ln := range lines[3:] {
+		runes := []rune(ln)
+		off := -1
+		for j := len(runes) - 1; j >= 0; j-- {
+			if runes[j] == ' ' {
+				off = j + 1
+				break
+			}
+		}
+		if wantOff == -1 {
+			wantOff = off
+		} else if off != wantOff {
+			t.Errorf("row %d: last column at rune offset %d, want %d:\n%s", i, off, wantOff, out)
+		}
+	}
+}
+
+func TestTableRaggedRowsExtendRule(t *testing.T) {
+	// A row longer than the header must not truncate the rule: the dashes
+	// span every rendered column.
+	tb := New("ragged", "a", "b")
+	tb.Add("1", "2", "extra-wide-cell", "tail")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	rule, row := lines[2], lines[3]
+	if utf8.RuneCountInString(rule) < utf8.RuneCountInString(row) {
+		t.Errorf("rule (%d runes) shorter than ragged row (%d runes):\n%s",
+			utf8.RuneCountInString(rule), utf8.RuneCountInString(row), out)
+	}
+	if strings.Contains(rule, " -") || !strings.HasPrefix(rule, "-") {
+		// Every column gets its own dash run separated by the 2-space gutter.
+		segs := strings.Fields(rule)
+		if len(segs) != 4 {
+			t.Errorf("rule has %d segments, want 4 (one per rendered column): %q", len(segs), rule)
 		}
 	}
 }

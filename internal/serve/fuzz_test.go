@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"nnbaton/internal/workload"
+)
+
+// FuzzParseTrace asserts the trace parser never panics and that every
+// accepted trace honors its documented invariants: time-ordered injections,
+// positive inputs, canonical zoo model names and trace-unique net indices —
+// the same crash-hardening contract FuzzParse pins on workload.Parse.
+func FuzzParseTrace(f *testing.F) {
+	f.Add("net_idx,inject_time_us,network,num_inputs\n1,0,alexnet,1\n2,100,resnet50,2\n")
+	f.Add("1,0,alexnet,1\n")
+	f.Add("# comment\n1, 0 , VGG-16 , 3 # tail\n")
+	f.Add("1,0,alexnet,0\n")
+	f.Add("1,100,alexnet,1\n2,50,alexnet,1\n")
+	f.Add("1,1e17,yolov2,4\n")
+	f.Add("x,y,z,w\n")
+	f.Add("1,NaN,alexnet,1\n")
+	f.Add("1,0,alexnet,1,5\n")
+	f.Add(strings.Repeat("9", 40) + ",0,alexnet,1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ParseTrace(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if len(tr.Requests) == 0 {
+			t.Fatal("accepted trace with no requests")
+		}
+		seen := make(map[int]bool)
+		last := 0.0
+		for i, r := range tr.Requests {
+			if r.Inputs <= 0 {
+				t.Fatalf("request %d: non-positive inputs %d", i, r.Inputs)
+			}
+			if r.NetIdx <= 0 || seen[r.NetIdx] {
+				t.Fatalf("request %d: bad or duplicate net_idx %d", i, r.NetIdx)
+			}
+			seen[r.NetIdx] = true
+			if r.InjectUS < last || r.InjectUS < 0 || r.InjectUS != r.InjectUS {
+				t.Fatalf("request %d: inject %v breaks time order (prev %v)", i, r.InjectUS, last)
+			}
+			last = r.InjectUS
+			if c, ok := workload.CanonicalName(r.Model); !ok || c != r.Model {
+				t.Fatalf("request %d: non-canonical model %q", i, r.Model)
+			}
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+
+	"nnbaton/internal/report"
+)
+
+// ms formats microseconds as milliseconds with fixed precision, so rendered
+// reports are byte-stable for the determinism gate.
+func ms(us float64) string { return fmt.Sprintf("%.3f", us/1e3) }
+
+// ScenarioTable renders the scenario-comparison table: one row per replayed
+// scenario with latency percentiles, throughput and utilization — the
+// capacity-planning view of one trace across fabrics.
+func ScenarioTable(title string, results []Result) *report.Table {
+	t := report.New(title, "scenario", "envelope", "requests", "inputs", "batches",
+		"p50 (ms)", "p95 (ms)", "p99 (ms)", "mean (ms)", "max (ms)",
+		"req/s", "inputs/s", "util")
+	for _, r := range results {
+		t.Add(r.Scenario, r.Envelope,
+			fmt.Sprint(r.Requests), fmt.Sprint(r.Inputs), fmt.Sprint(r.Batches),
+			ms(r.P50US), ms(r.P95US), ms(r.P99US), ms(r.MeanUS), ms(r.MaxUS),
+			fmt.Sprintf("%.1f", r.ThroughputRPS), fmt.Sprintf("%.1f", r.ThroughputIPS),
+			report.Pct(r.Utilization))
+	}
+	return t
+}
+
+// ModelTable renders the per-model breakdown of one scenario result.
+func ModelTable(r Result) *report.Table {
+	t := report.New(fmt.Sprintf("per-model latency — scenario %s on %s", r.Scenario, r.Envelope),
+		"model", "requests", "inputs", "batches", "p50 (ms)", "p95 (ms)", "p99 (ms)", "mean (ms)")
+	for _, m := range r.PerModel {
+		t.Add(m.Model, fmt.Sprint(m.Requests), fmt.Sprint(m.Inputs), fmt.Sprint(m.Batches),
+			ms(m.P50US), ms(m.P95US), ms(m.P99US), ms(m.MeanUS))
+	}
+	return t
+}
+
+// Render writes the scenario comparison followed by each scenario's
+// per-model breakdown. The output is a pure function of the results, so two
+// identical simulations render byte-identically.
+func Render(w io.Writer, title string, results []Result) error {
+	if err := ScenarioTable(title, results).Render(w); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if err := ModelTable(r).Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

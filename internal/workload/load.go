@@ -6,6 +6,25 @@ import (
 	"strings"
 )
 
+// zooNames lists the canonical zoo keys in stable order.
+var zooNames = []string{"alexnet", "vgg16", "resnet50", "darknet19", "mobilenetv2", "yolov2"}
+
+// ZooNames returns the canonical zoo model keys in stable order.
+func ZooNames() []string { return append([]string(nil), zooNames...) }
+
+// CanonicalName normalizes a model name (case-insensitive, hyphens ignored)
+// to its canonical zoo key, reporting whether the name is a zoo model. Both
+// "ResNet-50" and "resnet50" canonicalize to "resnet50".
+func CanonicalName(name string) (string, bool) {
+	key := strings.ReplaceAll(strings.ToLower(name), "-", "")
+	for _, n := range zooNames {
+		if key == n {
+			return n, true
+		}
+	}
+	return "", false
+}
+
 // Load resolves a model by zoo name (case-insensitive, with or without
 // hyphens) at the given input resolution, or parses a custom text
 // description when the name is a path ending in ".txt".
@@ -19,7 +38,8 @@ func Load(name string, resolution int) (Model, error) {
 		return Parse(f)
 	}
 	var m Model
-	switch strings.ReplaceAll(strings.ToLower(name), "-", "") {
+	key, _ := CanonicalName(name)
+	switch key {
 	case "alexnet":
 		m = AlexNet(resolution)
 	case "vgg16":
@@ -33,7 +53,7 @@ func Load(name string, resolution int) (Model, error) {
 	case "yolov2":
 		m = YOLOv2(resolution)
 	default:
-		return Model{}, fmt.Errorf("workload: unknown model %q (alexnet|vgg16|resnet50|darknet19|mobilenetv2|yolov2|<file>.txt)", name)
+		return Model{}, fmt.Errorf("workload: unknown model %q (%s|<file>.txt)", name, strings.Join(zooNames, "|"))
 	}
 	// A resolution the network topology cannot support (too small for its
 	// pooling pyramid, or non-positive) produces degenerate layer shapes;
