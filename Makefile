@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench benchall bench-smoke vet race fuzz chaos check equiv lint degradation topo-equiv serve
+.PHONY: build test bench benchall bench-smoke vet race fuzz chaos crash check equiv lint degradation topo-equiv serve
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,7 @@ race:
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/workload
 	$(GO) test -fuzz=FuzzParseTrace -fuzztime=10s ./internal/serve
+	$(GO) test -fuzz=FuzzCacheDecode -fuzztime=10s ./internal/store
 
 # chaos runs the fault-injection suite under the race detector: injected
 # panics, deadline overruns, transient errors, mid-sweep cancellations and
@@ -83,6 +84,14 @@ fuzz:
 # (see DESIGN.md "Resilience model").
 chaos:
 	$(GO) test -race -count=1 -run '^TestChaos' ./internal/engine ./internal/dse
+
+# crash is the worker-death recovery gate: a sharded-sweep subprocess is
+# SIGKILLed mid-shard, a surviving worker reclaims its expired lease and the
+# merged worker journals must be byte-identical to a single-process run —
+# plus the torn-journal and persistent-cache corruption recovery suites.
+crash:
+	$(GO) test -race -count=1 -run 'TestChaosShardedWorkerKillReclaimMerge|TestShardedExplore|TestJournalCrashTruncationSweep|TestJournalBufferedCrashTruncationSweep|TestMergeFiles|TestDiskCache' \
+		./internal/dse ./internal/ckpt ./internal/engine
 
 # check is the pre-merge gate: static analysis plus the full suite under the
 # race detector (the engine is concurrent; plain `go test` won't catch races).

@@ -35,6 +35,7 @@ import (
 	"nnbaton/internal/fab"
 	"nnbaton/internal/faults"
 	"nnbaton/internal/hardware"
+	"nnbaton/internal/lease"
 	"nnbaton/internal/mapper"
 	"nnbaton/internal/mapping"
 	"nnbaton/internal/obs"
@@ -42,6 +43,7 @@ import (
 	"nnbaton/internal/report"
 	"nnbaton/internal/serve"
 	"nnbaton/internal/simba"
+	"nnbaton/internal/store"
 	"nnbaton/internal/workload"
 )
 
@@ -143,8 +145,96 @@ type Checkpoint = ckpt.Journal
 
 // OpenCheckpoint opens (or creates) a checkpoint journal. With resume set,
 // existing records are loaded and sweeps replay them; without it, the file
-// is truncated for a fresh run.
+// is truncated for a fresh run. Records are fsynced as they are appended;
+// use OpenCheckpointWith to trade that durability for throughput.
 func OpenCheckpoint(path string, resume bool) (*Checkpoint, error) { return ckpt.Open(path, resume) }
+
+// CheckpointOptions tunes OpenCheckpointWith: Resume replays existing
+// records, Fsync forces every appended record to stable storage before the
+// append returns (off, the journal still loses nothing on SIGKILL — each
+// record is a single write syscall — but an OS crash may drop the tail).
+type CheckpointOptions = ckpt.Options
+
+// OpenCheckpointWith opens a checkpoint journal under explicit options.
+func OpenCheckpointWith(path string, opts CheckpointOptions) (*Checkpoint, error) {
+	return ckpt.OpenWith(path, opts)
+}
+
+// ValidateCheckpointPath fails fast if a checkpoint journal could not be
+// created or appended at path — the CLIs call it from flag validation so a
+// sweep cannot run for hours and then fail to record.
+func ValidateCheckpointPath(path string) error { return ckpt.ValidateWritable(path) }
+
+// MergeStats reports what a checkpoint merge folded together.
+type MergeStats = ckpt.MergeStats
+
+// MergeCheckpoints folds N worker journals into one canonical (key-sorted,
+// deduplicated, meta-stripped) journal stream on w. Divergent duplicate
+// records or journals from different studies are refused. Merging the shard
+// journals of a sharded sweep yields bytes identical to merging the
+// single-process journal of the same study.
+func MergeCheckpoints(w io.Writer, paths ...string) (MergeStats, error) {
+	return ckpt.MergeFiles(w, paths...)
+}
+
+// ResultCache is the persistent result cache interface the engine layers
+// under its in-memory memo (EngineConfig.Cache). Nil disables persistence.
+type ResultCache = engine.ResultCache
+
+// ResultStore is the crash-safe on-disk ResultCache implementation
+// (internal/store): CRC-framed append-only segments, one per writer, with
+// torn-tail recovery and quarantine-on-corruption.
+type ResultStore = store.Store
+
+// StoreOptions tunes OpenResultCache: Repair truncates torn segment tails in
+// place (only safe when this process owns the directory exclusively), Fsync
+// forces every Put to stable storage, Registry receives cache counters.
+type StoreOptions = store.Options
+
+// OpenResultCache opens (or creates) a persistent result cache directory.
+// Multiple processes may share dir — each appends to its own segment.
+func OpenResultCache(dir string, opts StoreOptions) (*ResultStore, error) {
+	return store.Open(dir, opts)
+}
+
+// EnsureCacheDir fails fast if dir cannot be created or written — the CLIs
+// call it from flag validation.
+func EnsureCacheDir(dir string) error { return store.EnsureWritableDir(dir) }
+
+// Sharded-sweep re-exports (internal/lease, internal/dse): N-worker Fig 15
+// studies over a shared filesystem with worker-death recovery.
+type (
+	// LeaseManager claims, renews and completes one worker's shard leases.
+	LeaseManager = lease.Manager
+	// LeaseOptions tunes lease TTL and claim retry/backoff.
+	LeaseOptions = lease.Options
+	// ShardedResult reports the shards one worker completed or abandoned.
+	ShardedResult = dse.ShardedResult
+)
+
+// NewLeaseManager builds a worker's lease manager over a shared directory.
+// study is the StudySignature every worker must agree on; owner is a
+// diagnostic worker identity (hostname, pid, -worker flag).
+func NewLeaseManager(dir, study, owner string, opts LeaseOptions) (*LeaseManager, error) {
+	return lease.New(dir, study, owner, opts)
+}
+
+// StudySignature canonically identifies one sharded exploration; workers
+// sharing a lease directory must present the same signature, and shard
+// journals carry it so MergeCheckpoints refuses foreign journals.
+func StudySignature(m Model, space Space, totalMACs int, areaLimitMM2 float64, shards int) string {
+	return dse.StudySignature(m, space, totalMACs, areaLimitMM2, shards)
+}
+
+// ExploreSharded runs this process's worker loop of an N-worker sharded
+// exploration: claim a shard lease, evaluate its compute range (journaling
+// to this worker's checkpoint), heartbeat, mark done, repeat; reclaim the
+// expired shards of dead peers. Returns when every shard of the study is
+// done. Merge the worker journals with MergeCheckpoints.
+func (b *Baton) ExploreSharded(ctx context.Context, m Model, space Space, totalMACs int,
+	areaLimitMM2 float64, mgr *LeaseManager, shards int) (ShardedResult, error) {
+	return dse.RunShardedExplore(ctx, m, space, totalMACs, areaLimitMM2, b.eng, mgr, shards)
+}
 
 // Observability re-exports (internal/obs). A nil registry or sink disables
 // the corresponding instrumentation at near-zero cost.

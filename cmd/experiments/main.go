@@ -19,6 +19,7 @@ import (
 	"nnbaton/internal/experiments"
 	"nnbaton/internal/hardware"
 	"nnbaton/internal/obs"
+	"nnbaton/internal/store"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func main() {
 	retries := flag.Int("retries", 0, "max re-attempts after a retryable point failure (panic, deadline, transient)")
 	checkpoint := flag.String("checkpoint", "", "journal completed sweep points to this JSONL file (crash-safe)")
 	resume := flag.Bool("resume", false, "replay points already journaled in the -checkpoint file instead of re-evaluating them")
+	cacheDir := flag.String("cache-dir", "", "persist layer-search results to this crash-safe cache directory and reuse them across runs")
 	topology := flag.String("topology", "ring", "on-package interconnect for every experiment: "+strings.Join(hardware.TopologyNames(), "|"))
 	flag.Parse()
 	topo, err := hardware.ParseTopology(*topology)
@@ -61,6 +63,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: -resume requires -checkpoint")
 		os.Exit(1)
 	}
+	// Fail fast on unwritable persistence targets before any experiment runs.
+	if *checkpoint != "" {
+		if err := ckpt.ValidateWritable(*checkpoint); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -checkpoint:", err)
+			os.Exit(2)
+		}
+	}
+	if *cacheDir != "" {
+		if err := store.EnsureWritableDir(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -cache-dir:", err)
+			os.Exit(2)
+		}
+	}
 	var journal *ckpt.Journal
 	if *checkpoint != "" {
 		var err error
@@ -74,14 +89,28 @@ func main() {
 			fmt.Fprintf(os.Stderr, "resuming from %s: %d journaled points\n", *checkpoint, journal.Len())
 		}
 	}
-	if reg != nil || sink != nil || journal != nil || *timeout > 0 || *retries > 0 {
-		experiments.SetEngineConfig(engine.Config{
+	var cache *store.Store
+	if *cacheDir != "" {
+		var err error
+		cache, err = store.Open(*cacheDir, store.Options{Registry: reg})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer cache.Close()
+	}
+	if reg != nil || sink != nil || journal != nil || cache != nil || *timeout > 0 || *retries > 0 {
+		cfg := engine.Config{
 			PointTimeout: *timeout,
 			MaxRetries:   *retries,
 			Registry:     reg,
 			Sink:         sink,
 			Journal:      journal,
-		})
+		}
+		if cache != nil {
+			cfg.Cache = cache
+		}
+		experiments.SetEngineConfig(cfg)
 	}
 	if *metrics != "" {
 		defer func() {

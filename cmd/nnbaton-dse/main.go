@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -39,9 +40,15 @@ type options struct {
 	retries    int
 	checkpoint string
 	resume     bool
+	fsync      bool
+	cacheDir   string
 	degrade    int
 	faultSeed  int64
 	topology   string
+	shards     int
+	worker     string
+	leaseTTL   time.Duration
+	merge      bool
 }
 
 // validate rejects nonsense flag values before any work starts, so the
@@ -62,8 +69,40 @@ func (o options) validate() error {
 	if o.resume && o.checkpoint == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
 	}
+	if o.fsync && o.checkpoint == "" {
+		return fmt.Errorf("-fsync requires -checkpoint")
+	}
+	if o.shards < 0 {
+		return fmt.Errorf("-shards must be non-negative, got %d", o.shards)
+	}
+	if o.shards > 1 {
+		if o.mode != "explore" {
+			return fmt.Errorf("-shards requires -mode explore")
+		}
+		if o.checkpoint == "" {
+			return fmt.Errorf("-shards requires -checkpoint (each worker journals its shards)")
+		}
+		if o.cacheDir == "" {
+			return fmt.Errorf("-shards requires -cache-dir (lease files live on the shared store)")
+		}
+	}
+	if o.leaseTTL <= 0 {
+		return fmt.Errorf("-lease-ttl must be positive, got %v", o.leaseTTL)
+	}
 	if _, err := nnbaton.ParseTopology(o.topology); err != nil {
 		return fmt.Errorf("-topology: %w", err)
+	}
+	// Fail fast on unwritable persistence targets: a sweep must not run for
+	// hours and then discover it cannot record.
+	if o.checkpoint != "" {
+		if err := nnbaton.ValidateCheckpointPath(o.checkpoint); err != nil {
+			return fmt.Errorf("-checkpoint: %w", err)
+		}
+	}
+	if o.cacheDir != "" {
+		if err := nnbaton.EnsureCacheDir(o.cacheDir); err != nil {
+			return fmt.Errorf("-cache-dir: %w", err)
+		}
 	}
 	return nil
 }
@@ -90,10 +129,23 @@ func main() {
 	flag.IntVar(&o.retries, "retries", 0, "max re-attempts after a retryable point failure (panic, deadline, transient)")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "journal completed sweep points to this JSONL file (crash-safe)")
 	flag.BoolVar(&o.resume, "resume", false, "replay points already journaled in the -checkpoint file instead of re-evaluating them")
+	flag.BoolVar(&o.fsync, "fsync", false, "fsync every -checkpoint record before acknowledging it (survives OS crashes and power loss, slower)")
+	flag.StringVar(&o.cacheDir, "cache-dir", "", "persist layer-search results to this crash-safe cache directory and reuse them across runs")
 	flag.IntVar(&o.degrade, "degradation", 0, "with -mode granularity: follow up with an N-step graceful-degradation sweep of the recommended point")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for the -degradation yield series")
 	flag.StringVar(&o.topology, "topology", "ring", "on-package interconnect for every swept point: ring|mesh|torus")
+	flag.IntVar(&o.shards, "shards", 0, "with -mode explore: shard the sweep across N cooperating worker processes (requires -checkpoint and -cache-dir)")
+	flag.StringVar(&o.worker, "worker", fmt.Sprintf("pid-%d", os.Getpid()), "worker identity for sharded sweeps (diagnostic; shows up in lease files)")
+	flag.DurationVar(&o.leaseTTL, "lease-ttl", 30*time.Second, "sharded-sweep lease time-to-live: a dead worker's shard is reclaimed after this long without a heartbeat")
+	flag.BoolVar(&o.merge, "merge", false, "merge mode: fold the checkpoint journals given as arguments into one canonical journal on stdout, then exit")
 	flag.Parse()
+	if o.merge {
+		if err := merge(flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "nnbaton-dse:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := o.validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "nnbaton-dse:", err)
 		os.Exit(2)
@@ -141,7 +193,7 @@ func run(ctx context.Context, o options) error {
 	}
 	var journal *nnbaton.Checkpoint
 	if o.checkpoint != "" {
-		journal, err = nnbaton.OpenCheckpoint(o.checkpoint, o.resume)
+		journal, err = nnbaton.OpenCheckpointWith(o.checkpoint, nnbaton.CheckpointOptions{Resume: o.resume, Fsync: o.fsync})
 		if err != nil {
 			return err
 		}
@@ -154,13 +206,22 @@ func run(ctx context.Context, o options) error {
 			fmt.Fprintln(os.Stderr)
 		}
 	}
-	tool := nnbaton.NewWithConfig(nnbaton.EngineConfig{
+	cfg := nnbaton.EngineConfig{
 		PointTimeout: o.timeout,
 		MaxRetries:   o.retries,
 		Registry:     reg,
 		Sink:         sink,
 		Journal:      journal,
-	})
+	}
+	if o.cacheDir != "" {
+		cache, err := nnbaton.OpenResultCache(o.cacheDir, nnbaton.StoreOptions{Registry: reg})
+		if err != nil {
+			return err
+		}
+		defer cache.Close()
+		cfg.Cache = cache
+	}
+	tool := nnbaton.NewWithConfig(cfg)
 	defer func() {
 		if o.stats {
 			fmt.Fprintln(os.Stderr, tool.EngineStats())
@@ -255,8 +316,48 @@ func degradation(ctx context.Context, tool *nnbaton.Baton, m nnbaton.Model, hw n
 		nnbaton.DegradationRows(pts)).Render(os.Stdout)
 }
 
+// merge is the -merge mode: fold worker journals into one canonical journal
+// on stdout. The output is byte-identical whether the inputs are N shard
+// journals or one single-process journal of the same study.
+func merge(paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-merge needs at least one journal file argument")
+	}
+	stats, err := nnbaton.MergeCheckpoints(os.Stdout, paths...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "merged %d journals: %d records (%d meta stripped, %d torn lines skipped)\n",
+		stats.Files, stats.Records, stats.Meta, stats.Torn)
+	return nil
+}
+
+// sharded runs this process as one worker of an N-worker exploration: shards
+// are claimed through lease files under the shared cache directory, results
+// journal to this worker's -checkpoint file, and dead peers' expired shards
+// are reclaimed. Fold the worker journals afterwards with -merge.
+func sharded(ctx context.Context, tool *nnbaton.Baton, m nnbaton.Model, o options) error {
+	sig := nnbaton.StudySignature(m, o.space(), o.macs, o.area, o.shards)
+	mgr, err := nnbaton.NewLeaseManager(filepath.Join(o.cacheDir, "leases"), sig, o.worker,
+		nnbaton.LeaseOptions{TTL: o.leaseTTL})
+	if err != nil {
+		return err
+	}
+	res, err := tool.ExploreSharded(ctx, m, o.space(), o.macs, o.area, mgr, o.shards)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worker %s: completed %d of %d shards (%v), lost %d to takeover\n",
+		o.worker, len(res.Completed), o.shards, res.Completed, res.Abandoned)
+	fmt.Printf("study complete; merge the worker journals with: nnbaton-dse -merge <journals...>\n")
+	return nil
+}
+
 func explore(ctx context.Context, tool *nnbaton.Baton, m nnbaton.Model, o options) error {
 	macs, area := o.macs, o.area
+	if o.shards > 1 {
+		return sharded(ctx, tool, m, o)
+	}
 	res, err := tool.ExploreContext(ctx, m, o.space(), macs, area)
 	if err != nil {
 		return err

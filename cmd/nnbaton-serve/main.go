@@ -55,6 +55,7 @@ type options struct {
 	retries    int
 	checkpoint string
 	resume     bool
+	cacheDir   string
 }
 
 // validate rejects nonsense flag values before any work starts.
@@ -83,6 +84,17 @@ func (o options) validate() error {
 	if _, err := nnbaton.ParseTopology(o.topology); err != nil {
 		return fmt.Errorf("-topology: %w", err)
 	}
+	// Fail fast on unwritable persistence targets, before any evaluation.
+	if o.checkpoint != "" {
+		if err := nnbaton.ValidateCheckpointPath(o.checkpoint); err != nil {
+			return fmt.Errorf("-checkpoint: %w", err)
+		}
+	}
+	if o.cacheDir != "" {
+		if err := nnbaton.EnsureCacheDir(o.cacheDir); err != nil {
+			return fmt.Errorf("-cache-dir: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -109,6 +121,7 @@ func main() {
 	flag.IntVar(&o.retries, "retries", 0, "max re-attempts after a retryable point failure (panic, deadline, transient)")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "journal completed scenario evaluations to this JSONL file (crash-safe)")
 	flag.BoolVar(&o.resume, "resume", false, "replay scenarios already journaled in the -checkpoint file instead of re-evaluating them")
+	flag.StringVar(&o.cacheDir, "cache-dir", "", "persist layer-search results to this crash-safe cache directory and reuse them across runs")
 	flag.Parse()
 	if err := o.validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "nnbaton-serve:", err)
@@ -208,12 +221,21 @@ func run(ctx context.Context, o options) error {
 			fmt.Fprintf(os.Stderr, "resuming from %s: %d journaled points\n", o.checkpoint, journal.Len())
 		}
 	}
-	tool := nnbaton.NewWithConfig(nnbaton.EngineConfig{
+	cfg := nnbaton.EngineConfig{
 		PointTimeout: o.timeout,
 		MaxRetries:   o.retries,
 		Registry:     reg,
 		Journal:      journal,
-	})
+	}
+	if o.cacheDir != "" {
+		cache, err := nnbaton.OpenResultCache(o.cacheDir, nnbaton.StoreOptions{Registry: reg})
+		if err != nil {
+			return err
+		}
+		defer cache.Close()
+		cfg.Cache = cache
+	}
+	tool := nnbaton.NewWithConfig(cfg)
 	defer func() {
 		if o.stats {
 			fmt.Fprintln(os.Stderr, tool.EngineStats())

@@ -51,6 +51,7 @@ type options struct {
 	retries   int
 	faults    string
 	topology  string
+	cacheDir  string
 }
 
 // validate rejects nonsense flag values before any work starts, so the
@@ -73,6 +74,12 @@ func (o options) validate() error {
 	}
 	if _, err := hardware.ParseTopology(o.topology); err != nil {
 		return fmt.Errorf("-topology: %w", err)
+	}
+	// Fail fast on an unwritable cache directory, before any search runs.
+	if o.cacheDir != "" {
+		if err := nnbaton.EnsureCacheDir(o.cacheDir); err != nil {
+			return fmt.Errorf("-cache-dir: %w", err)
+		}
 	}
 	return nil
 }
@@ -97,6 +104,7 @@ func main() {
 	flag.IntVar(&o.retries, "retries", 0, "max re-attempts after a retryable search failure (panic, deadline, transient)")
 	flag.StringVar(&o.faults, "faults", "", "map onto a degraded fabric: fault spec like 'chiplet2,cores3@1,freq90%' (see ParseFault)")
 	flag.StringVar(&o.topology, "topology", "ring", "on-package interconnect: "+strings.Join(hardware.TopologyNames(), "|"))
+	flag.StringVar(&o.cacheDir, "cache-dir", "", "persist layer-search results to this crash-safe cache directory and reuse them across runs")
 	flag.Parse()
 	if err := o.validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "nnbaton:", err)
@@ -190,11 +198,20 @@ func run(o options) error {
 			}
 		}()
 	}
-	tool := nnbaton.NewWithConfig(nnbaton.EngineConfig{
+	cfg := nnbaton.EngineConfig{
 		PointTimeout: o.timeout,
 		MaxRetries:   o.retries,
 		Registry:     reg,
-	})
+	}
+	if o.cacheDir != "" {
+		cache, err := nnbaton.OpenResultCache(o.cacheDir, nnbaton.StoreOptions{Registry: reg})
+		if err != nil {
+			return err
+		}
+		defer cache.Close()
+		cfg.Cache = cache
+	}
+	tool := nnbaton.NewWithConfig(cfg)
 	fmt.Printf("hardware: %s  (chiplet area %.2f mm²)\n\n", hw, tool.ChipletAreaMM2(hw))
 	if o.stats {
 		defer func() { fmt.Fprintln(os.Stderr, tool.EngineStats()) }()

@@ -7,10 +7,18 @@
 // is re-evaluated.
 //
 // Crash safety relies on the append discipline: every record is marshaled
-// first and written with a single Write call on an O_APPEND descriptor,
-// followed by an fsync, so the file only ever grows by whole records plus at
-// most one torn tail. The loader tolerates exactly that — a malformed final
-// line is counted and skipped, never trusted.
+// first and written with a single Write call on an O_APPEND descriptor, so
+// the file only ever grows by whole records plus at most one torn tail. The
+// loader tolerates exactly that — a malformed final line is counted and
+// skipped, never trusted. An opt-in fsync-per-record mode (Options.Fsync)
+// additionally survives OS crashes and power loss at the cost of one fsync
+// per point; without it a killed process still loses nothing, since the
+// write has reached the page cache.
+//
+// A sharded sweep writes one journal per shard; MergeFiles folds any number
+// of journals into one canonical stream — records sorted by key, shard
+// metadata stripped, divergent duplicates rejected — so an N-worker run can
+// be proved byte-identical to a single-process one.
 package ckpt
 
 import (
@@ -19,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 	"sync"
 )
 
@@ -28,6 +38,23 @@ type record struct {
 	Value json.RawMessage `json:"value"`
 }
 
+// MetaPrefix marks journal keys that describe the journal itself (the study
+// signature and shard range of a sharded worker) rather than sweep points.
+// Meta records replay like any other key but are stripped by MergeFiles, so
+// a merged shard set stays comparable to a single-process journal.
+const MetaPrefix = "meta|"
+
+// Options tunes OpenWith.
+type Options struct {
+	// Resume loads existing records for Lookup replay; off, an existing
+	// file is truncated — a fresh sweep must not replay stale points.
+	Resume bool
+	// Fsync syncs the file after every Append (survives OS crashes and
+	// power loss, not just killed processes). Off by default: the single
+	// O_APPEND write per record already bounds a kill to one torn tail.
+	Fsync bool
+}
+
 // Journal is an append-only keyed JSONL checkpoint file. All methods are
 // safe for concurrent use and safe on a nil receiver (the disabled path:
 // Lookup misses, Append discards).
@@ -35,32 +62,50 @@ type Journal struct {
 	mu       sync.Mutex
 	f        *os.File
 	path     string
+	fsync    bool
 	seen     map[string]json.RawMessage
 	appended int
 	torn     int
 }
 
-// Open opens (or creates) the journal at path. With resume set, existing
-// records are loaded and served by Lookup; without it, an existing file is
-// truncated — a fresh sweep must not replay stale points. The torn tail of a
-// crashed run (a final line without a newline, or undecodable) is skipped.
+// Open opens (or creates) the journal at path with the historical policy:
+// fsync on every record. See OpenWith for the buffered mode.
 func Open(path string, resume bool) (*Journal, error) {
+	return OpenWith(path, Options{Resume: resume, Fsync: true})
+}
+
+// OpenWith opens (or creates) the journal at path under an explicit resume
+// and durability policy. The torn tail of a crashed run (a final line
+// without a newline, or undecodable) is skipped and truncated away.
+func OpenWith(path string, o Options) (*Journal, error) {
 	flags := os.O_CREATE | os.O_RDWR | os.O_APPEND
-	if !resume {
+	if !o.Resume {
 		flags |= os.O_TRUNC
 	}
 	f, err := os.OpenFile(path, flags, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: %w", err)
 	}
-	j := &Journal{f: f, path: path, seen: make(map[string]json.RawMessage)}
-	if resume {
+	j := &Journal{f: f, path: path, fsync: o.Fsync, seen: make(map[string]json.RawMessage)}
+	if o.Resume {
 		if err := j.load(); err != nil {
 			f.Close()
 			return nil, err
 		}
 	}
 	return j, nil
+}
+
+// ValidateWritable proves the journal path can be created and appended to —
+// the CLIs' line-one -checkpoint validation, so a bad path fails at startup
+// instead of minutes into a sweep. The file is created if missing (the run
+// would create it anyway) and never truncated or written.
+func ValidateWritable(path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("ckpt: checkpoint path is not writable: %w", err)
+	}
+	return f.Close()
 }
 
 // load parses the existing journal records. Later records for a key win, so
@@ -113,8 +158,8 @@ func (j *Journal) Lookup(key string) (json.RawMessage, bool) {
 }
 
 // Append journals one completed point: the record is marshaled whole and
-// written atomically (one Write on an O_APPEND descriptor) then fsynced.
-// Nil-safe no-op.
+// written atomically (one Write on an O_APPEND descriptor), then fsynced
+// when the journal was opened in fsync mode. Nil-safe no-op.
 func (j *Journal) Append(key string, v any) error {
 	if j == nil {
 		return nil
@@ -136,8 +181,10 @@ func (j *Journal) Append(key string, v any) error {
 	if _, err := j.f.Write(line); err != nil {
 		return fmt.Errorf("ckpt: append %q: %w", key, err)
 	}
-	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("ckpt: sync %q: %w", key, err)
+	if j.fsync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("ckpt: sync %q: %w", key, err)
+		}
 	}
 	j.seen[key] = raw
 	j.appended++
@@ -181,6 +228,115 @@ func (j *Journal) Path() string {
 		return ""
 	}
 	return j.path
+}
+
+// Load reads the records of a journal file without opening it for writing
+// and without repairing its torn tail — the read-only side of MergeFiles.
+// Later records for a key win, matching the resume loader.
+func Load(path string) (map[string]json.RawMessage, int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("ckpt: %w", err)
+	}
+	seen := make(map[string]json.RawMessage)
+	torn := 0
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			torn++
+			break
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
+			torn++
+			continue
+		}
+		seen[rec.Key] = rec.Value
+	}
+	return seen, torn, nil
+}
+
+// MergeStats reports what MergeFiles combined.
+type MergeStats struct {
+	// Files is the number of input journals read.
+	Files int
+	// Records is the number of merged point records written.
+	Records int
+	// Meta counts stripped MetaPrefix records.
+	Meta int
+	// Torn counts malformed lines skipped across all inputs.
+	Torn int
+}
+
+// MergeFiles folds any number of checkpoint journals into one canonical
+// stream on w: point records sorted by key, one line per key, in exactly the
+// format Append writes — so merging the shard journals of an N-worker sweep
+// and merging a single-process journal of the same study yield byte-identical
+// output, which is the distributed-sweep determinism proof.
+//
+// MetaPrefix records (shard ranges, study signatures) are stripped, except
+// that every input carrying a "meta|study" record must agree on it — two
+// shards of different studies refuse to merge. Duplicate point keys across
+// shards must carry byte-identical values (the evaluation is deterministic;
+// a divergence means a corrupt or foreign journal) or the merge fails.
+func MergeFiles(w io.Writer, paths ...string) (MergeStats, error) {
+	var st MergeStats
+	merged := make(map[string]json.RawMessage)
+	origin := make(map[string]string)
+	var study string
+	var studyFrom string
+	for _, path := range paths {
+		seen, torn, err := Load(path)
+		if err != nil {
+			return st, err
+		}
+		st.Files++
+		st.Torn += torn
+		if raw, ok := seen[MetaPrefix+"study"]; ok {
+			if study == "" {
+				study, studyFrom = string(raw), path
+			} else if study != string(raw) {
+				return st, fmt.Errorf("ckpt: merge: %s and %s journal different studies (%s vs %s)",
+					studyFrom, path, study, raw)
+			}
+		}
+		for key, raw := range seen {
+			if strings.HasPrefix(key, MetaPrefix) {
+				st.Meta++
+				continue
+			}
+			if prev, ok := merged[key]; ok {
+				if !bytes.Equal(prev, raw) {
+					return st, fmt.Errorf("ckpt: merge: %s and %s disagree on %q — corrupt or foreign journal",
+						origin[key], path, key)
+				}
+				continue
+			}
+			merged[key] = raw
+			origin[key] = path
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		line, err := json.Marshal(record{Key: k, Value: merged[k]})
+		if err != nil {
+			return st, fmt.Errorf("ckpt: merge: %w", err)
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return st, fmt.Errorf("ckpt: merge: %w", err)
+		}
+		st.Records++
+	}
+	return st, nil
 }
 
 // Close flushes and closes the journal file. Nil-safe.

@@ -1,0 +1,223 @@
+package ckpt
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestJournalBufferedCrashTruncationSweep is the fsync-opt-in regression
+// test: a buffered (no per-record fsync) journal, truncated at every byte
+// offset of its last record, must still resume cleanly — the whole records
+// load, the torn tail is dropped and repaired, and a subsequent append lands
+// on a fresh line.
+func TestJournalBufferedCrashTruncationSweep(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.jsonl")
+	j, err := OpenWith(base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("head", val{N: 1, S: "kept"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("tail", val{N: 2, S: "truncated-away"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastStart := bytes.Index(data, []byte(`{"key":"tail"`))
+	if lastStart <= 0 {
+		t.Fatalf("cannot locate last record in %q", data)
+	}
+	for cut := lastStart; cut < len(data); cut++ {
+		path := filepath.Join(dir, fmt.Sprintf("cut%d.jsonl", cut))
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, err := OpenWith(path, Options{Resume: true})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if _, ok := j2.Lookup("head"); !ok {
+			t.Fatalf("cut %d: whole record lost", cut)
+		}
+		if _, ok := j2.Lookup("tail"); ok {
+			t.Fatalf("cut %d: torn record replayed", cut)
+		}
+		wantTorn := 0
+		if cut > lastStart {
+			wantTorn = 1
+		}
+		if j2.Torn() != wantTorn {
+			t.Fatalf("cut %d: torn = %d, want %d", cut, j2.Torn(), wantTorn)
+		}
+		if err := j2.Append("tail", val{N: 2, S: "recomputed"}); err != nil {
+			t.Fatalf("cut %d: append after torn resume: %v", cut, err)
+		}
+		j2.Close()
+		j3, err := OpenWith(path, Options{Resume: true})
+		if err != nil {
+			t.Fatalf("cut %d: second resume: %v", cut, err)
+		}
+		if j3.Torn() != 0 || j3.Len() != 2 {
+			t.Fatalf("cut %d: second resume torn=%d len=%d, want 0 and 2", cut, j3.Torn(), j3.Len())
+		}
+		raw, _ := j3.Lookup("tail")
+		if string(raw) != `{"n":2,"s":"recomputed"}` {
+			t.Fatalf("cut %d: recomputed record = %s", cut, raw)
+		}
+		j3.Close()
+	}
+}
+
+func writeJournal(t *testing.T, path string, fsync bool, kvs ...[2]string) {
+	t.Helper()
+	j, err := OpenWith(path, Options{Fsync: fsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for _, kv := range kvs {
+		if err := j.Append(kv[0], kv[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMergeFilesCanonical(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	single := filepath.Join(dir, "single.jsonl")
+	// Two shards, appended in completion order, with shard metadata; the
+	// single-process journal saw the same points in a different order.
+	writeJournal(t, a, false,
+		[2]string{MetaPrefix + "study", "study-sig"},
+		[2]string{MetaPrefix + "shard", "0:[0,2)"},
+		[2]string{"sweep|p2", "v2"}, [2]string{"sweep|p0", "v0"})
+	writeJournal(t, b, true,
+		[2]string{MetaPrefix + "study", "study-sig"},
+		[2]string{MetaPrefix + "shard", "1:[2,4)"},
+		[2]string{"sweep|p3", "v3"}, [2]string{"sweep|p1", "v1"})
+	writeJournal(t, single, false,
+		[2]string{"sweep|p1", "v1"}, [2]string{"sweep|p3", "v3"},
+		[2]string{"sweep|p0", "v0"}, [2]string{"sweep|p2", "v2"})
+
+	var sharded, solo bytes.Buffer
+	st, err := MergeFiles(&sharded, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Files != 2 || st.Records != 4 || st.Meta != 4 || st.Torn != 0 {
+		t.Errorf("sharded merge stats = %+v", st)
+	}
+	if _, err := MergeFiles(&solo, single); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sharded.Bytes(), solo.Bytes()) {
+		t.Errorf("sharded merge differs from single-process merge:\n%s\nvs\n%s", &sharded, &solo)
+	}
+	// The merged stream is itself a loadable journal in canonical order.
+	merged := filepath.Join(dir, "merged.jsonl")
+	if err := os.WriteFile(merged, sharded.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenWith(merged, Options{Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Len() != 4 || j.Torn() != 0 {
+		t.Errorf("merged journal len=%d torn=%d", j.Len(), j.Torn())
+	}
+	if raw, ok := j.Lookup("sweep|p2"); !ok || string(raw) != `"v2"` {
+		t.Errorf("merged lookup p2 = %s, %v", raw, ok)
+	}
+}
+
+func TestMergeFilesRejectsDivergentDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	writeJournal(t, a, false, [2]string{"sweep|p0", "v0"})
+	writeJournal(t, b, false, [2]string{"sweep|p0", "DIFFERENT"})
+	if _, err := MergeFiles(new(bytes.Buffer), a, b); err == nil {
+		t.Fatal("divergent duplicate values merged silently")
+	}
+	// Identical duplicates (a reclaimed shard re-evaluated a point) are fine.
+	c := filepath.Join(dir, "c.jsonl")
+	writeJournal(t, c, false, [2]string{"sweep|p0", "v0"}, [2]string{"sweep|p1", "v1"})
+	var out bytes.Buffer
+	st, err := MergeFiles(&out, a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 2 {
+		t.Errorf("records = %d, want 2", st.Records)
+	}
+}
+
+func TestMergeFilesRejectsMixedStudies(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	writeJournal(t, a, false, [2]string{MetaPrefix + "study", "sigA"}, [2]string{"k0", "v"})
+	writeJournal(t, b, false, [2]string{MetaPrefix + "study", "sigB"}, [2]string{"k1", "v"})
+	if _, err := MergeFiles(new(bytes.Buffer), a, b); err == nil {
+		t.Fatal("journals of different studies merged")
+	}
+}
+
+func TestLoadReadOnlyKeepsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	writeJournal(t, path, false, [2]string{"a", "v"})
+	if err := os.WriteFile(path, append(mustRead(t, path), []byte(`{"key":"torn"`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := mustRead(t, path)
+	seen, torn, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || torn != 1 {
+		t.Errorf("seen=%d torn=%d", len(seen), torn)
+	}
+	if !bytes.Equal(before, mustRead(t, path)) {
+		t.Error("read-only Load mutated the file")
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestValidateWritable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ok.jsonl")
+	if err := ValidateWritable(path); err != nil {
+		t.Fatal(err)
+	}
+	// Validation must not clobber an existing journal.
+	writeJournal(t, path, false, [2]string{"a", "v"})
+	before := mustRead(t, path)
+	if err := ValidateWritable(path); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, mustRead(t, path)) {
+		t.Error("validation truncated the journal")
+	}
+	if err := ValidateWritable(filepath.Join(dir, "no", "such", "dir", "j.jsonl")); err == nil {
+		t.Error("missing parent accepted")
+	}
+}

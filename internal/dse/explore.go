@@ -191,13 +191,40 @@ func Explore(ctx context.Context, model workload.Model, space Space, totalMACs i
 	if len(computes) == 0 {
 		return ExploreResult{}, fmt.Errorf("dse: no compute allocation reaches %d MACs", totalMACs)
 	}
+	return exploreComputes(ctx, model, space, totalMACs, areaLimitMM2, eng, computes, "explore "+model.Name)
+}
+
+// ExploreRange explores the compute configurations with canonical indices in
+// [lo, hi) — one shard of a distributed study. Journal keys and record
+// formats are identical to Explore's, so the shard journals of an N-worker
+// sweep merge (ckpt.MergeFiles) into exactly the journal a single-process
+// Explore writes.
+func ExploreRange(ctx context.Context, model workload.Model, space Space, totalMACs int,
+	areaLimitMM2 float64, eng *engine.Evaluator, lo, hi int) (ExploreResult, error) {
+	defer eng.Obs().Span("dse.explore_range")()
+	computes := space.ComputeConfigs(totalMACs)
+	if len(computes) == 0 {
+		return ExploreResult{}, fmt.Errorf("dse: no compute allocation reaches %d MACs", totalMACs)
+	}
+	if lo < 0 || hi < lo || hi > len(computes) {
+		return ExploreResult{}, fmt.Errorf("dse: shard range [%d,%d) outside the %d compute configurations", lo, hi, len(computes))
+	}
+	label := fmt.Sprintf("explore %s [%d,%d)", model.Name, lo, hi)
+	return exploreComputes(ctx, model, space, totalMACs, areaLimitMM2, eng, computes[lo:hi], label)
+}
+
+// exploreComputes is the shared body of Explore and ExploreRange: evaluate
+// (or replay) each given compute configuration, restore canonical order, and
+// pick the best point of the covered range.
+func exploreComputes(ctx context.Context, model workload.Model, space Space, totalMACs int,
+	areaLimitMM2 float64, eng *engine.Evaluator, computes []hardware.Config, label string) (ExploreResult, error) {
 	res := ExploreResult{Model: model.Name}
 	jrn := eng.Config().Journal
 	var mu sync.Mutex
 
 	// Progress is tracked per compute configuration (the unit of anchor
 	// harvesting); the memory cross-product within each is pure re-pricing.
-	track := obs.NewTracker(eng.ProgressSink(), "explore "+model.Name, len(computes))
+	track := obs.NewTracker(eng.ProgressSink(), label, len(computes))
 	err := engine.ParallelFor(ctx, len(computes), eng.Workers(), func(ci int) error {
 		comp := computes[ci]
 		key := exploreKey(model, space, totalMACs, areaLimitMM2, comp)

@@ -115,6 +115,17 @@ type Stats struct {
 	Timeouts int64
 	// Replayed counts sweep points served from the checkpoint journal.
 	Replayed int64
+	// Evictions counts cache entries evicted after a failed search (the
+	// entry is removed so a later request re-attempts).
+	Evictions int64
+
+	// Persistent-cache tallies (zero unless Config.Cache is set): searches
+	// served from disk, disk lookups that missed, entries written, and
+	// entries that failed decode/revalidation and were quarantined.
+	DiskHits    int64
+	DiskMisses  int64
+	DiskPuts    int64
+	DiskCorrupt int64
 
 	// Search funnel tallies, aggregated over every search the engine ran
 	// (see mapper.Counters): candidates generated, pruned by the admissible
@@ -146,9 +157,13 @@ func (s Stats) String() string {
 		out += fmt.Sprintf("; search: %d candidates, %d bound-pruned, %d stage-pruned, %d evaluated (%.1f%% pruned)",
 			s.Generated, s.BoundPruned, s.StagePruned, s.Evaluated, 100*s.PrunedFraction())
 	}
-	if s.Panics > 0 || s.Retries > 0 || s.Timeouts > 0 || s.Replayed > 0 {
-		out += fmt.Sprintf("; resilience: %d panics, %d retries, %d timeouts, %d replayed",
-			s.Panics, s.Retries, s.Timeouts, s.Replayed)
+	if s.Panics > 0 || s.Retries > 0 || s.Timeouts > 0 || s.Replayed > 0 || s.Evictions > 0 {
+		out += fmt.Sprintf("; resilience: %d panics, %d retries, %d timeouts, %d replayed, %d evicted",
+			s.Panics, s.Retries, s.Timeouts, s.Replayed, s.Evictions)
+	}
+	if s.DiskHits > 0 || s.DiskMisses > 0 || s.DiskPuts > 0 || s.DiskCorrupt > 0 {
+		out += fmt.Sprintf("; store: %d disk hits, %d misses, %d puts, %d corrupt",
+			s.DiskHits, s.DiskMisses, s.DiskPuts, s.DiskCorrupt)
 	}
 	return out
 }
@@ -177,7 +192,9 @@ type Evaluator struct {
 	// registry is attached so they appear in the -metrics dump.
 	lookups, searches, hits, coalesced *obs.Counter
 	panics, retries, timeouts          *obs.Counter
-	replayed                           *obs.Counter
+	replayed, evictions                *obs.Counter
+	diskHits, diskMisses               *obs.Counter
+	diskPuts, diskCorrupt              *obs.Counter
 	cacheEntries                       *obs.Gauge
 
 	// searchCtrs receives the mapper's search-funnel tallies for every
@@ -224,6 +241,11 @@ func NewFromConfig(cm *hardware.CostModel, cfg Config) *Evaluator {
 		e.retries = reg.Counter("engine.retries")
 		e.timeouts = reg.Counter("engine.timeouts")
 		e.replayed = reg.Counter("engine.replayed_points")
+		e.evictions = reg.Counter("engine.evictions")
+		e.diskHits = reg.Counter("engine.disk_hits")
+		e.diskMisses = reg.Counter("engine.disk_misses")
+		e.diskPuts = reg.Counter("engine.disk_puts")
+		e.diskCorrupt = reg.Counter("engine.disk_corrupt")
 		e.cacheEntries = reg.Gauge("engine.cache_entries")
 		e.searchCtrs = &mapper.Counters{
 			Generated:   reg.Counter("mapper.candidates_generated"),
@@ -236,6 +258,9 @@ func NewFromConfig(cm *hardware.CostModel, cfg Config) *Evaluator {
 		e.hits, e.coalesced = &obs.Counter{}, &obs.Counter{}
 		e.panics, e.retries = &obs.Counter{}, &obs.Counter{}
 		e.timeouts, e.replayed = &obs.Counter{}, &obs.Counter{}
+		e.evictions = &obs.Counter{}
+		e.diskHits, e.diskMisses = &obs.Counter{}, &obs.Counter{}
+		e.diskPuts, e.diskCorrupt = &obs.Counter{}, &obs.Counter{}
 		e.searchCtrs = &mapper.Counters{
 			Generated: &obs.Counter{}, BoundPruned: &obs.Counter{},
 			StagePruned: &obs.Counter{}, Evaluated: &obs.Counter{},
@@ -270,6 +295,12 @@ func (e *Evaluator) Stats() Stats {
 		Retries:   e.retries.Value(),
 		Timeouts:  e.timeouts.Value(),
 		Replayed:  e.replayed.Value(),
+		Evictions: e.evictions.Value(),
+
+		DiskHits:    e.diskHits.Value(),
+		DiskMisses:  e.diskMisses.Value(),
+		DiskPuts:    e.diskPuts.Value(),
+		DiskCorrupt: e.diskCorrupt.Value(),
 
 		Generated:   e.searchCtrs.Generated.Value(),
 		BoundPruned: e.searchCtrs.BoundPruned.Value(),
@@ -403,6 +434,7 @@ func (e *Evaluator) lead(ctx context.Context, en *entry, key searchKey, l worklo
 		delete(e.cache, key)
 		e.cacheEntries.Set(int64(len(e.cache)))
 		e.mu.Unlock()
+		e.evictions.Add(1)
 		close(en.done)
 		var lc *leaderCancelled
 		if errors.As(err, &lc) {
@@ -411,9 +443,17 @@ func (e *Evaluator) lead(ctx context.Context, en *entry, key searchKey, l worklo
 		return nil, err
 	}
 
+	// The persistent cache sits under the in-memory memo: only a leader with
+	// a freshly created entry consults it, so waiters coalesce onto the disk
+	// decode exactly as they would onto a live search.
+	if opts, ok := e.diskLookup(key, l, hw, cfg); ok {
+		return finish(opts, nil)
+	}
+
 	for attempt := 0; ; attempt++ {
 		opts, err := e.searchAttempt(ctx, l, hw, cfg, op)
 		if err == nil {
+			e.diskStore(key, opts)
 			return finish(opts, nil)
 		}
 		if ctx.Err() != nil {

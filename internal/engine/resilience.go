@@ -38,6 +38,12 @@ type Config struct {
 	// Journal is the checkpoint journal sweeps record completed points to
 	// and replay them from (nil disables checkpointing).
 	Journal *ckpt.Journal
+	// Cache is the persistent result cache layered under the in-memory memo
+	// cache: completed layer searches are stored, and a fresh process (or a
+	// sharded sweep worker) serves them from disk instead of recomputing.
+	// Cached payloads are revalidated on load and quarantined on any defect,
+	// so a poisoned cache degrades to recompute. Nil disables persistence.
+	Cache ResultCache
 }
 
 // DefaultBackoff is the first-retry delay when Config.Backoff is unset.

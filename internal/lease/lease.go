@@ -1,0 +1,356 @@
+// Package lease shards a DSE sweep across worker processes with nothing but
+// files on a shared directory — no coordinator, no network. The study's point
+// range is cut into numbered shards; a worker claims a shard by exclusively
+// creating its lease file, renews the lease by rewriting it while it works,
+// and marks the shard done with a separate done marker. A worker that dies
+// (SIGKILL, OOM, power) simply stops heartbeating: once its lease expires,
+// any surviving worker takes the shard over and re-evaluates it, which is
+// safe because point evaluation is deterministic and journal records are
+// keyed — a duplicated point carries an identical value.
+//
+// The takeover path is the only race: two workers may observe the same
+// expired lease. Both write a candidate lease to a temp file and rename it
+// over the stale one, then read the file back — rename is atomic, so exactly
+// one worker's nonce survives and the loser backs off. The claim path has no
+// race at all (O_EXCL create admits one winner), and the done path is
+// monotonic (done markers are never removed).
+//
+// Leases bind to a study signature: a directory accidentally shared by two
+// different sweeps refuses to cross-claim, the same guard ckpt.MergeFiles
+// applies to journals.
+package lease
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// ErrAllDone reports that every shard of the study is finished — the worker
+// loop's successful termination condition.
+var ErrAllDone = errors.New("lease: all shards done")
+
+// ErrContended reports that no shard could be claimed right now but
+// unfinished shards remain, all currently covered by live leases.
+var ErrContended = errors.New("lease: all remaining shards are leased")
+
+// lease is the wire format of a lease file.
+type lease struct {
+	Study    string `json:"study"`
+	Shard    int    `json:"shard"`
+	Owner    string `json:"owner"`
+	Nonce    int64  `json:"nonce"`
+	Deadline int64  `json:"deadlineUnixNano"`
+}
+
+// Options tunes a Manager.
+type Options struct {
+	// TTL is how long a heartbeat keeps a lease alive. Longer TTLs tolerate
+	// slower points; shorter ones reclaim dead workers' shards faster.
+	// <= 0 uses DefaultTTL.
+	TTL time.Duration
+	// Retries bounds how many claim sweeps TryClaim makes before giving up
+	// with ErrContended. <= 0 uses DefaultRetries.
+	Retries int
+	// Backoff is the delay between claim sweeps, doubling per retry.
+	// <= 0 uses DefaultBackoff.
+	Backoff time.Duration
+}
+
+// Defaults for Options.
+const (
+	DefaultTTL     = 30 * time.Second
+	DefaultRetries = 3
+	DefaultBackoff = 50 * time.Millisecond
+)
+
+// Manager claims, renews and completes the shard leases of one worker on one
+// study. It is not safe for concurrent use; one worker drives one Manager.
+type Manager struct {
+	dir   string
+	study string
+	owner string
+	opts  Options
+	rng   *rand.Rand
+
+	// nonce identifies this Manager's live lease on the claimed shard.
+	nonce int64
+	shard int
+}
+
+// New builds a Manager over a shared lease directory. study is the study
+// signature every worker of the sweep must agree on; owner is a diagnostic
+// worker identity (hostname, pid, shard CLI flag — anything stable enough to
+// debug with).
+func New(dir, study, owner string, opts Options) (*Manager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lease: %w", err)
+	}
+	if opts.TTL <= 0 {
+		opts.TTL = DefaultTTL
+	}
+	if opts.Retries <= 0 {
+		opts.Retries = DefaultRetries
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = DefaultBackoff
+	}
+	seed := time.Now().UnixNano() ^ int64(os.Getpid())<<32
+	return &Manager{
+		dir: dir, study: study, owner: owner, opts: opts,
+		rng: rand.New(rand.NewSource(seed)), shard: -1,
+	}, nil
+}
+
+func (m *Manager) leasePath(shard int) string {
+	return filepath.Join(m.dir, fmt.Sprintf("shard-%04d.lease", shard))
+}
+
+func (m *Manager) donePath(shard int) string {
+	return filepath.Join(m.dir, fmt.Sprintf("shard-%04d.done", shard))
+}
+
+// Done reports whether a shard has been completed (by anyone).
+func (m *Manager) Done(shard int) bool {
+	_, err := os.Stat(m.donePath(shard))
+	return err == nil
+}
+
+// read parses a lease file; a missing or undecodable file returns ok=false
+// (an undecodable lease is a torn write from a dying worker — it never
+// protects the shard).
+func (m *Manager) read(path string) (lease, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return lease{}, false
+	}
+	var l lease
+	if err := json.Unmarshal(data, &l); err != nil {
+		return lease{}, false
+	}
+	return l, true
+}
+
+// write atomically installs a lease file via temp + rename and reads it back:
+// the returned bool reports whether our nonce survived, i.e. whether we won
+// any concurrent install of the same path.
+func (m *Manager) write(path string, l lease) (bool, error) {
+	data, err := json.Marshal(l)
+	if err != nil {
+		return false, fmt.Errorf("lease: %w", err)
+	}
+	tmp, err := os.CreateTemp(m.dir, ".lease-*")
+	if err != nil {
+		return false, fmt.Errorf("lease: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return false, fmt.Errorf("lease: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return false, fmt.Errorf("lease: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return false, fmt.Errorf("lease: %w", err)
+	}
+	back, ok := m.read(path)
+	return ok && back.Nonce == l.Nonce && back.Owner == l.Owner, nil
+}
+
+// fresh builds a new lease for shard with a new nonce.
+func (m *Manager) fresh(shard int) lease {
+	m.nonce = m.rng.Int63()
+	return lease{
+		Study: m.study, Shard: shard, Owner: m.owner, Nonce: m.nonce,
+		Deadline: time.Now().Add(m.opts.TTL).UnixNano(),
+	}
+}
+
+// tryClaimOne attempts to acquire one specific shard: O_EXCL-create a fresh
+// lease, or take over an expired (or torn) one via atomic rename with
+// read-back verification.
+func (m *Manager) tryClaimOne(shard int) (bool, error) {
+	if m.Done(shard) {
+		return false, nil
+	}
+	path := m.leasePath(shard)
+	l := m.fresh(shard)
+	data, err := json.Marshal(l)
+	if err != nil {
+		return false, fmt.Errorf("lease: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err == nil {
+		_, werr := f.Write(data)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return false, fmt.Errorf("lease: claim shard %d: %w", shard, werr)
+		}
+		m.shard = shard
+		return true, nil
+	}
+	if !errors.Is(err, os.ErrExist) {
+		return false, fmt.Errorf("lease: claim shard %d: %w", shard, err)
+	}
+	cur, ok := m.read(path)
+	if ok {
+		if cur.Study != m.study {
+			return false, fmt.Errorf("lease: shard %d is leased for study %q, not %q — directory shared across sweeps",
+				shard, cur.Study, m.study)
+		}
+		if time.Now().UnixNano() < cur.Deadline {
+			return false, nil // live lease: someone else is on it
+		}
+	}
+	// Expired or torn: contend for the takeover. Rename is atomic and the
+	// read-back tells us whose install survived.
+	won, err := m.write(path, l)
+	if err != nil {
+		return false, err
+	}
+	if !won {
+		return false, nil
+	}
+	if m.Done(shard) {
+		// The old owner finished between our expiry check and the takeover;
+		// the done marker is authoritative, our lease is moot.
+		return false, nil
+	}
+	m.shard = shard
+	return true, nil
+}
+
+// TryClaim sweeps the study's shards for one this worker can own, with
+// bounded retry and doubling backoff when every unfinished shard is under a
+// live lease (the holder may die — retrying is how its shard gets picked up).
+// Returns the claimed shard index, ErrAllDone when every shard has a done
+// marker, or ErrContended after the retry budget.
+func (m *Manager) TryClaim(ctx context.Context, shards int) (int, error) {
+	backoff := m.opts.Backoff
+	for attempt := 0; ; attempt++ {
+		done := 0
+		for s := 0; s < shards; s++ {
+			if m.Done(s) {
+				done++
+				continue
+			}
+			ok, err := m.tryClaimOne(s)
+			if err != nil {
+				return -1, err
+			}
+			if ok {
+				return s, nil
+			}
+		}
+		if done == shards {
+			return -1, ErrAllDone
+		}
+		if attempt >= m.opts.Retries {
+			return -1, ErrContended
+		}
+		t := time.NewTimer(backoff)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return -1, ctx.Err()
+		}
+		backoff *= 2
+	}
+}
+
+// Heartbeat renews the held lease, extending its deadline by one TTL. It
+// fails if this worker's nonce no longer owns the lease file — the lease
+// expired and another worker took the shard over; the caller must abandon
+// the shard (its work is not wasted: keyed, deterministic journal records
+// merge cleanly with the new owner's).
+func (m *Manager) Heartbeat() error {
+	if m.shard < 0 {
+		return errors.New("lease: no shard held")
+	}
+	path := m.leasePath(m.shard)
+	cur, ok := m.read(path)
+	if !ok || cur.Nonce != m.nonce {
+		return fmt.Errorf("lease: shard %d was taken over (lease lost)", m.shard)
+	}
+	cur.Deadline = time.Now().Add(m.opts.TTL).UnixNano()
+	won, err := m.write(path, cur)
+	if err != nil {
+		return err
+	}
+	if !won {
+		return fmt.Errorf("lease: shard %d was taken over during heartbeat", m.shard)
+	}
+	return nil
+}
+
+// Complete writes the held shard's done marker and releases the lease. Done
+// markers are never removed, so completion is monotonic even if a stale
+// former owner later scribbles on the lease file.
+func (m *Manager) Complete() error {
+	if m.shard < 0 {
+		return errors.New("lease: no shard held")
+	}
+	path := m.donePath(m.shard)
+	tmp, err := os.CreateTemp(m.dir, ".done-*")
+	if err != nil {
+		return fmt.Errorf("lease: %w", err)
+	}
+	tmpName := tmp.Name()
+	line, err := json.Marshal(struct {
+		Study string `json:"study"`
+		Shard int    `json:"shard"`
+		Owner string `json:"owner"`
+	}{m.study, m.shard, m.owner})
+	if err == nil {
+		_, err = tmp.Write(line)
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("lease: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("lease: %w", err)
+	}
+	os.Remove(m.leasePath(m.shard))
+	m.shard = -1
+	m.nonce = 0
+	return nil
+}
+
+// Release abandons the held shard without completing it: the lease file is
+// removed if we still own it, so another worker can claim the shard
+// immediately instead of waiting out the TTL.
+func (m *Manager) Release() {
+	if m.shard < 0 {
+		return
+	}
+	path := m.leasePath(m.shard)
+	if cur, ok := m.read(path); ok && cur.Nonce == m.nonce {
+		os.Remove(path)
+	}
+	m.shard = -1
+	m.nonce = 0
+}
+
+// Shard returns the currently held shard index, or -1.
+func (m *Manager) Shard() int { return m.shard }
+
+// TTL returns the effective lease time-to-live (callers derive their
+// heartbeat period from it).
+func (m *Manager) TTL() time.Duration { return m.opts.TTL }

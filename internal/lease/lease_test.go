@@ -1,0 +1,229 @@
+package lease
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var bg = context.Background()
+
+func mgr(t *testing.T, dir, owner string, opts Options) *Manager {
+	t.Helper()
+	m, err := New(dir, "study-sig", owner, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestClaimHeartbeatComplete(t *testing.T) {
+	dir := t.TempDir()
+	m := mgr(t, dir, "w0", Options{TTL: time.Minute})
+	shard, err := m.TryClaim(bg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard != 0 || m.Shard() != 0 {
+		t.Fatalf("claimed shard %d, want 0", shard)
+	}
+	if err := m.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Complete(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Done(0) {
+		t.Error("done marker missing")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "shard-0000.lease")); !errors.Is(err, os.ErrNotExist) {
+		t.Error("lease file not released on completion")
+	}
+	// The next claim skips the done shard.
+	shard, err = m.TryClaim(bg, 2)
+	if err != nil || shard != 1 {
+		t.Fatalf("second claim = %d, %v, want 1", shard, err)
+	}
+	if err := m.Complete(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TryClaim(bg, 2); !errors.Is(err, ErrAllDone) {
+		t.Fatalf("all-done claim = %v, want ErrAllDone", err)
+	}
+}
+
+func TestTwoWorkersSplitShards(t *testing.T) {
+	dir := t.TempDir()
+	a := mgr(t, dir, "a", Options{TTL: time.Minute})
+	b := mgr(t, dir, "b", Options{TTL: time.Minute})
+	sa, err := a.TryClaim(bg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.TryClaim(bg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa == sb {
+		t.Fatalf("both workers claimed shard %d", sa)
+	}
+	// With both shards leased and unfinished, a third worker is contended.
+	c := mgr(t, dir, "c", Options{TTL: time.Minute, Retries: 1, Backoff: time.Millisecond})
+	if _, err := c.TryClaim(bg, 2); !errors.Is(err, ErrContended) {
+		t.Fatalf("third worker claim = %v, want ErrContended", err)
+	}
+}
+
+// TestExpiredLeaseReclaimed is the worker-death scenario: the owner stops
+// heartbeating (dies), its lease expires, and a second worker takes the
+// shard over. The dead worker's Heartbeat then fails, so a zombie cannot
+// believe it still owns the shard.
+func TestExpiredLeaseReclaimed(t *testing.T) {
+	dir := t.TempDir()
+	dead := mgr(t, dir, "dead", Options{TTL: 10 * time.Millisecond})
+	if _, err := dead.TryClaim(bg, 1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	heir := mgr(t, dir, "heir", Options{TTL: time.Minute})
+	shard, err := heir.TryClaim(bg, 1)
+	if err != nil || shard != 0 {
+		t.Fatalf("takeover claim = %d, %v", shard, err)
+	}
+	if err := dead.Heartbeat(); err == nil {
+		t.Error("zombie heartbeat succeeded after takeover")
+	}
+	if err := heir.Heartbeat(); err != nil {
+		t.Errorf("new owner heartbeat: %v", err)
+	}
+	if err := heir.Complete(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTornLeaseReclaimed treats an undecodable lease file (a worker died
+// mid-write) as expired: it never protects the shard.
+func TestTornLeaseReclaimed(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "shard-0000.lease"), []byte(`{"study":"study-si`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := mgr(t, dir, "w", Options{TTL: time.Minute})
+	if shard, err := m.TryClaim(bg, 1); err != nil || shard != 0 {
+		t.Fatalf("torn-lease claim = %d, %v", shard, err)
+	}
+}
+
+func TestForeignStudyRefused(t *testing.T) {
+	dir := t.TempDir()
+	other, err := New(dir, "other-study", "o", Options{TTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.TryClaim(bg, 1); err != nil {
+		t.Fatal(err)
+	}
+	m := mgr(t, dir, "w", Options{TTL: time.Minute, Retries: 1, Backoff: time.Millisecond})
+	if _, err := m.TryClaim(bg, 1); err == nil || errors.Is(err, ErrContended) {
+		t.Fatalf("cross-study claim = %v, want a study-mismatch error", err)
+	}
+}
+
+func TestReleaseFreesShardImmediately(t *testing.T) {
+	dir := t.TempDir()
+	a := mgr(t, dir, "a", Options{TTL: time.Hour})
+	if _, err := a.TryClaim(bg, 1); err != nil {
+		t.Fatal(err)
+	}
+	a.Release()
+	b := mgr(t, dir, "b", Options{TTL: time.Minute})
+	if shard, err := b.TryClaim(bg, 1); err != nil || shard != 0 {
+		t.Fatalf("claim after release = %d, %v", shard, err)
+	}
+}
+
+// TestTakeoverRaceSingleWinner contends many managers for one expired lease;
+// exactly one may win, decided by the rename + read-back nonce check.
+func TestTakeoverRaceSingleWinner(t *testing.T) {
+	dir := t.TempDir()
+	stale := lease{Study: "study-sig", Shard: 0, Owner: "dead", Nonce: 1, Deadline: 1}
+	data, _ := json.Marshal(stale)
+	if err := os.WriteFile(filepath.Join(dir, "shard-0000.lease"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	const contenders = 8
+	wins := make(chan int, contenders)
+	start := make(chan struct{})
+	done := make(chan struct{}, contenders)
+	for i := 0; i < contenders; i++ {
+		m := mgr(t, dir, "w", Options{TTL: time.Hour, Retries: 1, Backoff: time.Millisecond})
+		go func() {
+			<-start
+			if shard, err := m.TryClaim(bg, 1); err == nil && shard == 0 {
+				wins <- 1
+			}
+			done <- struct{}{}
+		}()
+	}
+	close(start)
+	for i := 0; i < contenders; i++ {
+		<-done
+	}
+	close(wins)
+	won := 0
+	for range wins {
+		won++
+	}
+	if won != 1 {
+		t.Errorf("%d contenders won the takeover, want exactly 1", won)
+	}
+}
+
+func TestCompletionBeatsTakeover(t *testing.T) {
+	// The old owner completed between the expiry check and our takeover: the
+	// done marker is authoritative and the takeover must not claim.
+	dir := t.TempDir()
+	dead := mgr(t, dir, "dead", Options{TTL: 5 * time.Millisecond})
+	if _, err := dead.TryClaim(bg, 1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	// Keep the expired lease file on disk but mark the shard done, as a slow
+	// Complete on the old owner would after a new worker read the lease.
+	if err := dead.Complete(); err != nil {
+		t.Fatal(err)
+	}
+	heir := mgr(t, dir, "heir", Options{TTL: time.Minute})
+	if _, err := heir.TryClaim(bg, 1); !errors.Is(err, ErrAllDone) {
+		t.Fatalf("claim of completed shard = %v, want ErrAllDone", err)
+	}
+}
+
+func TestHeartbeatWithoutClaim(t *testing.T) {
+	m := mgr(t, t.TempDir(), "w", Options{})
+	if err := m.Heartbeat(); err == nil {
+		t.Error("heartbeat without a held shard succeeded")
+	}
+	if err := m.Complete(); err == nil {
+		t.Error("complete without a held shard succeeded")
+	}
+	m.Release() // must not panic
+}
+
+func TestClaimRespectsContext(t *testing.T) {
+	dir := t.TempDir()
+	a := mgr(t, dir, "a", Options{TTL: time.Hour})
+	if _, err := a.TryClaim(bg, 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	b := mgr(t, dir, "b", Options{TTL: time.Minute, Retries: 5, Backoff: time.Hour})
+	if _, err := b.TryClaim(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled claim = %v", err)
+	}
+}
