@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build test bench benchall bench-smoke vet race fuzz chaos crash check equiv lint degradation topo-equiv serve
+.PHONY: build test bench benchall bench-smoke bench-check vet race fuzz chaos crash check equiv lint degradation topo-equiv serve
+
+# The benchmark set committed to BENCH_mapper.json (and gated by bench-check).
+BENCH_PATTERN = BenchmarkSearchLayer|BenchmarkEngineEvalModelResNet50|BenchmarkServeReferenceTrace|BenchmarkSweep
 
 build:
 	$(GO) build ./...
@@ -12,9 +15,16 @@ test:
 # the numbers to BENCH_mapper.json (via cmd/benchjson), including the derived
 # exhaustive-vs-pruned speedup and allocation ratios.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkSearchLayer|BenchmarkEngineEvalModelResNet50|BenchmarkServeReferenceTrace' -benchmem -count=1 . \
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=1 . \
 		| $(GO) run ./cmd/benchjson -o BENCH_mapper.json
 	@cat BENCH_mapper.json
+
+# bench-check re-measures the committed benchmark set and fails on a >25%
+# ns/op regression of any search/engine/sweep benchmark against the committed
+# BENCH_mapper.json baseline.
+bench-check:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=1 . \
+		| $(GO) run ./cmd/benchjson -check BENCH_mapper.json
 
 # benchall is the full suite across every package (the pre-perf-PR `bench`).
 benchall:
@@ -93,6 +103,7 @@ crash:
 	$(GO) test -race -count=1 -run 'TestChaosShardedWorkerKillReclaimMerge|TestShardedExplore|TestJournalCrashTruncationSweep|TestJournalBufferedCrashTruncationSweep|TestMergeFiles|TestDiskCache' \
 		./internal/dse ./internal/ckpt ./internal/engine
 
-# check is the pre-merge gate: static analysis plus the full suite under the
-# race detector (the engine is concurrent; plain `go test` won't catch races).
-check: vet race
+# check is the pre-merge gate: static analysis, the full suite under the
+# race detector (the engine is concurrent; plain `go test` won't catch
+# races), and the benchmark regression gate against BENCH_mapper.json.
+check: vet race bench-check

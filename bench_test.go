@@ -332,10 +332,12 @@ func BenchmarkSearchLayerPruned(b *testing.B) {
 	l := benchSearchLayer(b)
 	hw := hardware.CaseStudy()
 	ctr := &mapper.Counters{
-		Generated:   &obs.Counter{},
-		BoundPruned: &obs.Counter{},
-		StagePruned: &obs.Counter{},
-		Evaluated:   &obs.Counter{},
+		Generated:      &obs.Counter{},
+		BoundPruned:    &obs.Counter{},
+		StagePruned:    &obs.Counter{},
+		Evaluated:      &obs.Counter{},
+		FloorsComputed: &obs.Counter{},
+		HeapPopped:     &obs.Counter{},
 	}
 	cfg := mapper.Config{Objective: mapper.MinEnergy, KeepTop: 8, Counters: ctr}
 	b.ReportAllocs()
@@ -348,6 +350,8 @@ func BenchmarkSearchLayerPruned(b *testing.B) {
 	b.ReportMetric(float64(ctr.Generated.Value())/n, "candidates/op")
 	b.ReportMetric(float64(ctr.BoundPruned.Value()+ctr.StagePruned.Value())/n, "pruned/op")
 	b.ReportMetric(float64(ctr.Evaluated.Value())/n, "evaluated/op")
+	b.ReportMetric(float64(ctr.FloorsComputed.Value())/n, "floors/op")
+	b.ReportMetric(float64(ctr.HeapPopped.Value())/n, "popped/op")
 }
 
 // BenchmarkSearchLayerMeshPruned is the branch-and-bound search on the same
@@ -483,6 +487,77 @@ func BenchmarkServeReferenceTrace(b *testing.B) {
 	}
 	b.ReportMetric(rps, "req/s")
 }
+
+// benchSweepHWs is the hardware neighborhood the warm-start sweep benchmarks
+// walk: the case-study point with its core count and A-L1 allocation varied,
+// the adjacency pattern a Fig 14/15 sweep produces.
+func benchSweepHWs() []hardware.Config {
+	base := hardware.CaseStudy()
+	var hws []hardware.Config
+	for _, cores := range []int{base.Cores / 2, base.Cores, base.Cores * 2} {
+		for _, al1 := range []int{base.AL1Bytes, base.AL1Bytes * 2} {
+			hw := base
+			hw.Cores = cores
+			hw.AL1Bytes = al1
+			hws = append(hws, hw)
+		}
+	}
+	return hws
+}
+
+// benchSweepModel is the workload the warm-start sweep benchmarks map at
+// every point: the heavy ResNet-50 convs where the mapping search dominates
+// the sweep cost (light layers would bury the search under fixed per-point
+// overhead).
+func benchSweepModel(b *testing.B) workload.Model {
+	rn := ResNet50(224)
+	m := workload.Model{Name: "resnet50-heavy", Resolution: 224}
+	for _, name := range []string{"res2a_branch2b", "res3a_branch2b", "res4a_branch2b"} {
+		l, err := rn.Layer(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Layers = append(m.Layers, l)
+	}
+	return m
+}
+
+// benchSweep runs one end-to-end EvalSweep on a fresh evaluator per
+// iteration, so cross-point warm-starting (when enabled) is the only
+// carryover between points — the memo cache never spans iterations.
+func benchSweep(b *testing.B, disableWarmStart bool) {
+	m := benchSweepModel(b)
+	hws := benchSweepHWs()
+	models := []workload.Model{m}
+	b.ReportAllocs()
+	var hits, misses int64
+	for i := 0; i < b.N; i++ {
+		eng := engine.NewFromConfig(benchCM, engine.Config{DisableWarmStart: disableWarmStart})
+		pts, err := eng.EvalSweep(context.Background(), models, hws, mapper.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pt := range pts {
+			if pt.Err != nil {
+				b.Fatal(pt.Err)
+			}
+		}
+		st := eng.Stats()
+		hits, misses = st.WarmStartHits, st.WarmStartMisses
+	}
+	b.ReportMetric(float64(hits), "warmhits/op")
+	b.ReportMetric(float64(misses), "warmmisses/op")
+}
+
+// BenchmarkSweepWarmStart measures the reduced hardware sweep with
+// cross-point incumbent warm-starting on: each point's searches are seeded by
+// the nearest solved neighbor (benchjson derives the cold/warm sweep speedup
+// from this pair).
+func BenchmarkSweepWarmStart(b *testing.B) { benchSweep(b, false) }
+
+// BenchmarkSweepColdStart is the identical sweep with warm-starting disabled
+// — the result-identical baseline the warm variant is measured against.
+func BenchmarkSweepColdStart(b *testing.B) { benchSweep(b, true) }
 
 // BenchmarkEngineGranularityCold runs the reduced Fig 14 sweep on a fresh
 // engine per iteration (the pre-refactor behavior: every sweep pays for its

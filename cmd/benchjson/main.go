@@ -38,6 +38,7 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	check := flag.String("check", "", "committed baseline JSON to gate against: fail on a >25% ns/op regression of any search/engine/sweep benchmark")
 	flag.Parse()
 
 	rep, err := parse(os.Stdin)
@@ -46,6 +47,14 @@ func main() {
 		os.Exit(1)
 	}
 	derive(rep)
+
+	if *check != "" {
+		if err := checkBaseline(rep, *check, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -61,6 +70,80 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// regressionTolerance is how much slower than the committed baseline a gated
+// benchmark may run before -check fails: generous enough to absorb machine
+// noise, tight enough to catch a real search or engine regression.
+const regressionTolerance = 1.25
+
+// gated reports whether a benchmark participates in the -check regression
+// gate: the search and engine paths whose performance this repo's perf PRs
+// commit to (pure cost-model microbenchmarks are too noisy to gate on).
+func gated(name string) bool {
+	return strings.HasPrefix(name, "BenchmarkSearch") ||
+		strings.HasPrefix(name, "BenchmarkEngine") ||
+		strings.HasPrefix(name, "BenchmarkSweep")
+}
+
+// checkBaseline compares a freshly parsed run against the committed baseline
+// report and returns an error when any gated benchmark regressed past the
+// tolerance. Benchmarks present on only one side are reported but never fail
+// the gate — adding a benchmark must not require regenerating the baseline in
+// the same change.
+func checkBaseline(fresh *Report, path string, w io.Writer) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	baseNS := map[string]float64{}
+	for _, b := range base.Benchmarks {
+		if ns := b.Metrics["ns/op"]; gated(b.Name) && ns > 0 {
+			baseNS[b.Name] = ns
+		}
+	}
+	if len(baseNS) == 0 {
+		return fmt.Errorf("baseline %s gates no search/engine/sweep benchmarks", path)
+	}
+	compared := 0
+	var failures []string
+	for _, b := range fresh.Benchmarks {
+		want, ok := baseNS[b.Name]
+		if !ok {
+			if gated(b.Name) {
+				fmt.Fprintf(w, "benchjson: %s: not in baseline, skipped\n", b.Name)
+			}
+			continue
+		}
+		delete(baseNS, b.Name)
+		got := b.Metrics["ns/op"]
+		ratio := got / want
+		compared++
+		verdict := "ok"
+		if ratio > regressionTolerance {
+			verdict = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.2fx > %.2fx tolerance)",
+				b.Name, got, want, ratio, regressionTolerance))
+		}
+		fmt.Fprintf(w, "benchjson: %-45s %10.0f ns/op  baseline %10.0f  (%.2fx) %s\n",
+			b.Name, got, want, ratio, verdict)
+	}
+	for name := range baseNS {
+		fmt.Fprintf(w, "benchjson: %s: in baseline but not measured, skipped\n", name)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no gated benchmark overlaps the baseline")
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed past %.0f%%:\n  %s",
+			len(failures), 100*(regressionTolerance-1), strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(w, "benchjson: %d benchmark(s) within tolerance\n", compared)
+	return nil
 }
 
 // parse reads the text format produced by `go test -bench`: header key:value
@@ -166,6 +249,21 @@ func derive(rep *Report) {
 		}
 		if mn, rn := mesh.Metrics["ns/op"], ring.Metrics["ns/op"]; rn > 0 {
 			put(base+"_mesh_vs_ring", mn/rn)
+		}
+	}
+	// Cold-vs-warm sweep ratio: the end-to-end win of cross-point incumbent
+	// warm-starting.
+	for name, warm := range byName {
+		base, ok := strings.CutSuffix(name, "WarmStart")
+		if !ok {
+			continue
+		}
+		cold, ok := byName[base+"ColdStart"]
+		if !ok {
+			continue
+		}
+		if cn, wn := cold.Metrics["ns/op"], warm.Metrics["ns/op"]; wn > 0 {
+			put(base+"_warmstart_speedup", cn/wn)
 		}
 	}
 }

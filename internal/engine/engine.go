@@ -129,11 +129,23 @@ type Stats struct {
 
 	// Search funnel tallies, aggregated over every search the engine ran
 	// (see mapper.Counters): candidates generated, pruned by the admissible
-	// bound, pruned between pipeline stages, and fully evaluated.
-	Generated   int64
-	BoundPruned int64
-	StagePruned int64
-	Evaluated   int64
+	// bound, pruned between pipeline stages, and fully evaluated, plus the
+	// best-first frontier's exact floor computations and heap pops.
+	Generated      int64
+	BoundPruned    int64
+	StagePruned    int64
+	Evaluated      int64
+	FloorsComputed int64
+	HeapPopped     int64
+
+	// Warm-start tallies (zero with Config.DisableWarmStart): searches seeded
+	// from a solved neighbor point's hint, searches that looked for a hint
+	// and found no sound seed, and the cumulative seed slack in basis points
+	// (seed vs the search's actual k-th best score; WarmStartSeedGap /
+	// WarmStartHits is the mean — 0 bp means the seed was already exact).
+	WarmStartHits    int64
+	WarmStartMisses  int64
+	WarmStartSeedGap int64
 }
 
 // PrunedFraction returns the fraction of generated candidates the search
@@ -154,8 +166,17 @@ func (s Stats) String() string {
 	out := fmt.Sprintf("engine: %d lookups, %d searches, %d hits, %d coalesced (%.1fx dedup)",
 		s.Lookups, s.Searches, s.Hits, s.Coalesced, dedup)
 	if s.Generated > 0 {
-		out += fmt.Sprintf("; search: %d candidates, %d bound-pruned, %d stage-pruned, %d evaluated (%.1f%% pruned)",
-			s.Generated, s.BoundPruned, s.StagePruned, s.Evaluated, 100*s.PrunedFraction())
+		out += fmt.Sprintf("; search: %d candidates, %d bound-pruned, %d stage-pruned, %d evaluated (%.1f%% pruned), %d floors, %d heap pops",
+			s.Generated, s.BoundPruned, s.StagePruned, s.Evaluated, 100*s.PrunedFraction(),
+			s.FloorsComputed, s.HeapPopped)
+	}
+	if s.WarmStartHits > 0 || s.WarmStartMisses > 0 {
+		gap := 0.0
+		if s.WarmStartHits > 0 {
+			gap = float64(s.WarmStartSeedGap) / float64(s.WarmStartHits)
+		}
+		out += fmt.Sprintf("; warm-start: %d hits, %d misses, avg seed gap %.1f bp",
+			s.WarmStartHits, s.WarmStartMisses, gap)
 	}
 	if s.Panics > 0 || s.Retries > 0 || s.Timeouts > 0 || s.Replayed > 0 || s.Evictions > 0 {
 		out += fmt.Sprintf("; resilience: %d panics, %d retries, %d timeouts, %d replayed, %d evicted",
@@ -195,11 +216,20 @@ type Evaluator struct {
 	replayed, evictions                *obs.Counter
 	diskHits, diskMisses               *obs.Counter
 	diskPuts, diskCorrupt              *obs.Counter
+	warmHits, warmMisses               *obs.Counter
+	warmSeedGap                        *obs.Counter
 	cacheEntries                       *obs.Gauge
 
 	// searchCtrs receives the mapper's search-funnel tallies for every
 	// search the engine leads (unless the caller supplied its own Counters).
 	searchCtrs *mapper.Counters
+
+	// hints is the warm-start hint table: per layer shape, the winning
+	// mappings of already-solved hardware points (see warmstart.go). A new
+	// point re-validates and re-costs a near neighbor's mappings to seed the
+	// search incumbent before any candidate is generated.
+	hintMu sync.Mutex
+	hints  map[ShapeKey][]hintEntry
 }
 
 // New builds an evaluator over a cost model with GOMAXPROCS workers.
@@ -246,12 +276,17 @@ func NewFromConfig(cm *hardware.CostModel, cfg Config) *Evaluator {
 		e.diskMisses = reg.Counter("engine.disk_misses")
 		e.diskPuts = reg.Counter("engine.disk_puts")
 		e.diskCorrupt = reg.Counter("engine.disk_corrupt")
+		e.warmHits = reg.Counter("engine.warm_start_hits")
+		e.warmMisses = reg.Counter("engine.warm_start_misses")
+		e.warmSeedGap = reg.Counter("engine.warm_start_seed_gap_bp")
 		e.cacheEntries = reg.Gauge("engine.cache_entries")
 		e.searchCtrs = &mapper.Counters{
-			Generated:   reg.Counter("mapper.candidates_generated"),
-			BoundPruned: reg.Counter("mapper.candidates_bound_pruned"),
-			StagePruned: reg.Counter("mapper.candidates_stage_pruned"),
-			Evaluated:   reg.Counter("mapper.candidates_evaluated"),
+			Generated:      reg.Counter("mapper.candidates_generated"),
+			BoundPruned:    reg.Counter("mapper.candidates_bound_pruned"),
+			StagePruned:    reg.Counter("mapper.candidates_stage_pruned"),
+			Evaluated:      reg.Counter("mapper.candidates_evaluated"),
+			FloorsComputed: reg.Counter("mapper.floors_computed"),
+			HeapPopped:     reg.Counter("mapper.heap_popped"),
 		}
 	} else {
 		e.lookups, e.searches = &obs.Counter{}, &obs.Counter{}
@@ -261,9 +296,12 @@ func NewFromConfig(cm *hardware.CostModel, cfg Config) *Evaluator {
 		e.evictions = &obs.Counter{}
 		e.diskHits, e.diskMisses = &obs.Counter{}, &obs.Counter{}
 		e.diskPuts, e.diskCorrupt = &obs.Counter{}, &obs.Counter{}
+		e.warmHits, e.warmMisses = &obs.Counter{}, &obs.Counter{}
+		e.warmSeedGap = &obs.Counter{}
 		e.searchCtrs = &mapper.Counters{
 			Generated: &obs.Counter{}, BoundPruned: &obs.Counter{},
 			StagePruned: &obs.Counter{}, Evaluated: &obs.Counter{},
+			FloorsComputed: &obs.Counter{}, HeapPopped: &obs.Counter{},
 		}
 	}
 	return e
@@ -302,10 +340,16 @@ func (e *Evaluator) Stats() Stats {
 		DiskPuts:    e.diskPuts.Value(),
 		DiskCorrupt: e.diskCorrupt.Value(),
 
-		Generated:   e.searchCtrs.Generated.Value(),
-		BoundPruned: e.searchCtrs.BoundPruned.Value(),
-		StagePruned: e.searchCtrs.StagePruned.Value(),
-		Evaluated:   e.searchCtrs.Evaluated.Value(),
+		Generated:      e.searchCtrs.Generated.Value(),
+		BoundPruned:    e.searchCtrs.BoundPruned.Value(),
+		StagePruned:    e.searchCtrs.StagePruned.Value(),
+		Evaluated:      e.searchCtrs.Evaluated.Value(),
+		FloorsComputed: e.searchCtrs.FloorsComputed.Value(),
+		HeapPopped:     e.searchCtrs.HeapPopped.Value(),
+
+		WarmStartHits:    e.warmHits.Value(),
+		WarmStartMisses:  e.warmMisses.Value(),
+		WarmStartSeedGap: e.warmSeedGap.Value(),
 	}
 }
 
@@ -319,7 +363,14 @@ func (e *Evaluator) pruneNote() string {
 		return ""
 	}
 	pruned := e.searchCtrs.BoundPruned.Value() + e.searchCtrs.StagePruned.Value()
-	return fmt.Sprintf("%d candidates, %.1f%% pruned", gen, 100*float64(pruned)/float64(gen))
+	note := fmt.Sprintf("%d candidates, %.1f%% pruned", gen, 100*float64(pruned)/float64(gen))
+	if fl := e.searchCtrs.FloorsComputed.Value(); fl > 0 {
+		note += fmt.Sprintf(", %d floors", fl)
+	}
+	if h, m := e.warmHits.Value(), e.warmMisses.Value(); h+m > 0 {
+		note += fmt.Sprintf(", warm %d/%d", h, h+m)
+	}
+	return note
 }
 
 // recordPanic counts a recovered panic and preserves its value and stack in
@@ -339,12 +390,15 @@ func normalize(cfg mapper.Config) mapper.Config {
 }
 
 // cacheCfg strips the Config fields that cannot affect search results — the
-// intra-layer worker count and the counter sink — so they never fragment the
-// memoization key: a 1-worker and an 8-worker search of the same space share
-// one cache entry (the parallel search is result-identical by construction).
+// intra-layer worker count, the counter sink, and the warm-start seed — so
+// they never fragment the memoization key: a 1-worker and an 8-worker search
+// of the same space share one cache entry (the parallel search is
+// result-identical by construction), and a warm-seeded search shares the
+// entry of a cold one (a sound seed never changes the winning options).
 func cacheCfg(cfg mapper.Config) mapper.Config {
 	cfg.Workers = 0
 	cfg.Counters = nil
+	cfg.SeedBound = 0
 	return cfg
 }
 
@@ -425,6 +479,12 @@ func (e *Evaluator) lead(ctx context.Context, en *entry, key searchKey, l worklo
 	op := l.Name + " on " + hw.String()
 	finish := func(opts []mapper.Option, err error) ([]mapper.Option, error) {
 		if err == nil {
+			// Publish the winning mappings as warm-start hints for later
+			// hardware points of the same shape. Running this in finish —
+			// not in searchAttempt — also captures searches served from the
+			// persistent cache, which is how a sharded sweep's shard N warms
+			// from shard N−1's disk results.
+			e.recordHint(key.shape, hw, opts)
 			en.opts = opts
 			close(en.done)
 			return retag(opts, l), nil
@@ -516,9 +576,23 @@ func (e *Evaluator) searchAttempt(ctx context.Context, l workload.Layer, hw hard
 		if cfg.Counters == nil {
 			cfg.Counters = e.searchCtrs
 		}
+		// Seed the search incumbent from a solved neighbor point before any
+		// candidate is generated. The seed is sound by construction (see
+		// warmSeed), so the result is byte-identical to a cold search —
+		// warm-starting only changes how fast the frontier converges.
+		warmed := false
+		if cfg.SeedBound == 0 && !e.cfg.DisableWarmStart {
+			if seed, ok := e.warmSeed(l, hw, cfg); ok {
+				cfg.SeedBound = seed
+				warmed = true
+			}
+		}
 		stop := e.reg.Span("engine.search")
 		opts := mapper.SearchAll(l, hw, e.cm, cfg)
 		stop()
+		if warmed {
+			e.recordSeedGap(cfg, opts)
+		}
 		ch <- outcome{opts: opts}
 	}()
 
@@ -705,7 +779,12 @@ func (e *Evaluator) EvalSweep(ctx context.Context, models []workload.Model, hws 
 	track.SetNote(e.pruneNote)
 	sig := modelsSig(models)
 	jrn := e.cfg.Journal
-	err := ParallelFor(ctx, len(hws), e.cfg.Workers, func(i int) error {
+	// Evaluate in serpentine neighbor order so each point's searches are
+	// warm-started by a just-solved adjacent configuration; results land at
+	// their original indices, so output is order-independent.
+	order := NeighborOrder(hws)
+	err := ParallelFor(ctx, len(hws), e.cfg.Workers, func(oi int) error {
+		i := order[oi]
 		key := sweepPointKey(sig, cfg, hws[i])
 		if raw, ok := jrn.Lookup(key); ok {
 			if pt, ok := replaySweepPoint(raw, hws[i]); ok {

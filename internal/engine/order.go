@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"sort"
+
+	"nnbaton/internal/hardware"
+)
+
+// sweepAxes projects a configuration onto the sweep's ordered axes, most
+// significant first: topology (a wholesale cost-model change), then the
+// compute partition from package to lane, then the buffer hierarchy from
+// shared to private — the same significance order hwDistance weights by.
+func sweepAxes(hw hardware.Config) [10]int {
+	return [10]int{
+		int(hw.Topology),
+		hw.Chiplets, hw.Cores, hw.Lanes, hw.Vector,
+		hw.AL2Bytes, hw.OL2Bytes, hw.AL1Bytes, hw.WL1Bytes, hw.OL1Bytes,
+	}
+}
+
+// NeighborOrder returns a permutation of hws that visits the sweep grid
+// serpentine-fashion: a mixed-radix reflected-Gray order over the per-axis
+// value ranks, where each axis's direction flips with the parity of the rank
+// prefix above it. Consecutive points then differ in few axes and by small
+// steps — instead of the lexicographic order's carry resets (…,8,128) →
+// (…,16,1), the serpentine walks back down — which maximizes warm-start hint
+// locality: each search is seeded by a point solved moments ago on an
+// adjacent configuration, and the first point of a shard sits next to the
+// last point of the previous shard, so hints cross shard boundaries through
+// the persistent cache.
+//
+// The permutation changes evaluation ORDER only; callers index results by
+// the original positions, so sweep output is byte-identical to the
+// unpermuted order. Ties (duplicate configurations) keep their original
+// relative order.
+func NeighborOrder(hws []hardware.Config) []int {
+	order := make([]int, len(hws))
+	if len(hws) == 0 {
+		return order
+	}
+	// Rank each axis's values over their sorted-unique range, so a "step"
+	// means adjacent grid values regardless of magnitude (128→256 bytes is
+	// one step, like 2→4 chiplets).
+	ranks := make([][10]int, len(hws))
+	var vals []int
+	for ax := 0; ax < 10; ax++ {
+		vals = vals[:0]
+		for _, hw := range hws {
+			vals = append(vals, sweepAxes(hw)[ax])
+		}
+		sort.Ints(vals)
+		uniq := vals[:0]
+		for i, v := range vals {
+			if i == 0 || v != uniq[len(uniq)-1] {
+				uniq = append(uniq, v)
+			}
+		}
+		for i, hw := range hws {
+			ranks[i][ax] = sort.SearchInts(uniq, sweepAxes(hw)[ax])
+		}
+		vals = vals[:0]
+	}
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := ranks[order[a]], ranks[order[b]]
+		parity := 0
+		for ax := 0; ax < 10; ax++ {
+			if ra[ax] != rb[ax] {
+				if parity%2 == 0 {
+					return ra[ax] < rb[ax]
+				}
+				return ra[ax] > rb[ax]
+			}
+			parity += ra[ax]
+		}
+		return false
+	})
+	return order
+}

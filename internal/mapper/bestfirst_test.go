@@ -1,0 +1,208 @@
+package mapper
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"nnbaton/internal/hardware"
+	"nnbaton/internal/mapping"
+	"nnbaton/internal/noc"
+	"nnbaton/internal/workload"
+)
+
+// TestGroupBoundAdmissible pins the property the best-first frontier is built
+// on: for every candidate group, the group bound is ≤ the exact per-probe
+// lower bound of every member probe (and transitively ≤ every member's true
+// score, which lowerBound's own admissibility covers). Randomized over layers,
+// hardware points, objectives and fault masks.
+func TestGroupBoundAdmissible(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260809))
+	cm := hardware.MustCostModel()
+	layers := uniqueZooLayers(64)
+	trials := 20
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		l := layers[rng.Intn(len(layers))]
+		hw := randomHW(rng)
+		if hw.Validate() != nil {
+			continue
+		}
+		cfg := Config{
+			Objective: []Objective{MinEnergy, MinEDP}[rng.Intn(2)],
+			KeepTop:   8,
+		}
+		if rng.Intn(3) == 0 {
+			cfg.Fault = randomFault(rng, hw.Chiplets)
+		}
+		topo, _, err := noc.NewInterconnect(hw, cfg.Fault)
+		if err != nil {
+			continue
+		}
+		num, den := topo.D2DScale()
+		srch := &search{l: l, hw: hw, cm: cm, cfg: cfg, d2dNum: num, d2dDen: den}
+		ctx := fmt.Sprintf("trial %d: %s/%s on %s obj=%v fault=%s",
+			trial, l.Model, l.Name, hw.Tuple(), cfg.Objective, cfg.Fault)
+		for _, st := range subtrees(l, hw, cfg) {
+			var cots []int
+			for _, cot := range tileCandidates(st.cop, st.cop) {
+				if cot >= st.cs.csplit {
+					cots = append(cots, cot)
+				}
+			}
+			if len(cots) == 0 {
+				continue
+			}
+			for _, pp := range planarPairs(st.hop, st.wop) {
+				hot, wot := pp[0], pp[1]
+				if st.cs.pattern.Rows > hot || st.cs.pattern.Cols > wot {
+					continue
+				}
+				g := bfGroup{hot: hot, wot: wot,
+					hs: ceilDiv(hot, st.cs.pattern.Rows), ws: ceilDiv(wot, st.cs.pattern.Cols)}
+				g.cps = coreTilePairs(l, hw, g.hs, g.ws)
+				if len(g.cps) == 0 {
+					continue
+				}
+				gb := srch.groupBound(st, cots, g)
+				for ci, cot := range cots {
+					sub := srch.groupBound(st, cots[ci:ci+1], g)
+					for pi, cp := range g.cps {
+						probe := mapping.Mapping{
+							PackageSpatial: st.ps.kind, PackagePattern: st.ps.pattern, Rotate: st.rotate,
+							ChipletSpatial: st.cs.kind, ChipletCSplit: st.cs.csplit, ChipletPattern: st.cs.pattern,
+							COt: cot, HOt: hot, WOt: wot, HOc: cp[0], WOc: cp[1],
+						}
+						if !probe.Feasible(l, hw) {
+							continue
+						}
+						sh := probe.Shape(l, hw)
+						fl := lowerBound(l, hw, cm, probe, sh, cfg.Objective, num, den)
+						if gb > fl {
+							t.Fatalf("%s: group bound %.6g > member floor %.6g for %+v",
+								ctx, gb, fl, probe)
+						}
+						if sub > fl {
+							t.Fatalf("%s: subgroup bound %.6g > member floor %.6g for %+v",
+								ctx, sub, fl, probe)
+						}
+						// Cell level: both tile axes fixed — the singleton
+						// bound the frontier prices one probe with.
+						gc := g
+						gc.cps = g.cps[pi : pi+1]
+						if cell := srch.groupBound(st, cots[ci:ci+1], gc); cell > fl {
+							t.Fatalf("%s: cell bound %.6g > member floor %.6g for %+v",
+								ctx, cell, fl, probe)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// tieHW builds a hardware point whose cost model degeneracies make distinct
+// mappings score identically: with a single chiplet there is no D2D term, and
+// symmetric planar splits of a square layer produce mirror-image mappings
+// with equal traffic in every component.
+func tieHW() hardware.Config {
+	hw := hardware.CaseStudy()
+	hw.Chiplets = 1
+	hw.Cores = 4
+	return hw
+}
+
+// TestSearchDeterministicOnTies is the determinism audit: on layers/configs
+// where multiple candidates share the optimal cost, the best-first parallel
+// search, the same search serially, and the exhaustive reference must return
+// the identical mapping — the (score, mapping.Compare) tie-break, not
+// evaluation order, decides. Square layers on a symmetric hardware point
+// guarantee mirror-mapping ties exist; the test first asserts a tie is
+// actually present so it cannot silently degrade into a non-tie check. Run
+// under -race in CI (make race) to also catch ordering races.
+func TestSearchDeterministicOnTies(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	cm := hardware.MustCostModel()
+	hw := tieHW()
+	trials := 10
+	if testing.Short() {
+		trials = 3
+	}
+	sawTie := false
+	for trial := 0; trial < trials; trial++ {
+		// Square geometry with symmetric channels: HO == WO and R == S make
+		// (h, w)-mirrored mappings cost-identical.
+		size := []int{7, 8, 14, 16, 28}[rng.Intn(5)]
+		l := workload.Layer{
+			Name: fmt.Sprintf("tie%d", trial), Model: "tie-audit",
+			HO: size, WO: size, CO: 64, CI: 64, R: 3, S: 3,
+			StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 1,
+		}
+		if l.Validate() != nil {
+			t.Fatalf("trial %d: invalid tie layer: %v", trial, l)
+		}
+		cfg := Config{Objective: MinEnergy, KeepTop: 8}
+		want := SearchExhaustive(l, hw, cm, cfg)
+		if len(want) == 0 {
+			continue
+		}
+		bestScore := score(want[0], cfg.Objective)
+		ties := 0
+		for _, o := range want {
+			if score(o, cfg.Objective) == bestScore {
+				ties++
+			}
+		}
+		if ties > 1 {
+			sawTie = true
+		}
+		for _, w := range []int{1, 2, 8} {
+			cfg.Workers = w
+			got := SearchAll(l, hw, cm, cfg)
+			ctx := fmt.Sprintf("trial %d size=%d workers=%d (ties=%d)", trial, size, w, ties)
+			requireSameOptions(t, ctx, want, got, cfg.Objective)
+		}
+	}
+	if !sawTie {
+		t.Fatal("no trial produced a shared-optimal-cost tie; the audit tested nothing")
+	}
+}
+
+// TestSearchSeedBoundIdentity pins the warm-start contract from the mapper
+// side: seeding the incumbent with the exact k-th best score of the space —
+// the strongest sound seed the engine can ever derive — must leave the result
+// byte-identical to a cold search, while an unsound over-tight seed is
+// rejected by construction only when it still dominates the k-th best. Also
+// covers the degenerate seeds (0, +Inf, negative) the engine may pass.
+func TestSearchSeedBoundIdentity(t *testing.T) {
+	cm := hardware.MustCostModel()
+	hw := hardware.CaseStudy()
+	l := workload.ResNet50(224).Layers[10]
+	cfg := Config{Objective: MinEnergy, KeepTop: 8}
+	cold := SearchAll(l, hw, cm, cfg)
+	if len(cold) != cfg.KeepTop {
+		t.Fatalf("cold search returned %d options", len(cold))
+	}
+	kth := score(cold[len(cold)-1], cfg.Objective)
+	for _, tc := range []struct {
+		name string
+		seed float64
+	}{
+		{"exact-kth", kth},
+		{"above-kth", kth * 1.5},
+		{"zero", 0},
+		{"inf", math.Inf(1)},
+		{"negative", -1},
+	} {
+		for _, workers := range []int{1, 4} {
+			c := cfg
+			c.SeedBound = tc.seed
+			c.Workers = workers
+			got := SearchAll(l, hw, cm, c)
+			requireSameOptions(t, fmt.Sprintf("%s workers=%d", tc.name, workers), cold, got, cfg.Objective)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package par
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// MinBound is the lock-free shared incumbent of a parallel branch-and-bound
+// search: the smallest bound any worker has published so far. Workers fold it
+// into their local pruning threshold so a strong incumbent found in one shard
+// prunes every other shard. Lowering is a CAS-min; the bound only ever
+// decreases, so a stale read is merely conservative, never unsound. The
+// engine's cross-point warm-starting seeds it before the first candidate is
+// generated (mapper.Config.SeedBound), which is why it lives here rather than
+// inside the mapper: par is the one package both ends of that protocol share.
+type MinBound struct{ bits atomic.Uint64 }
+
+// NewMinBound returns a bound at +Inf — no incumbent yet.
+func NewMinBound() *MinBound {
+	b := &MinBound{}
+	b.bits.Store(math.Float64bits(math.Inf(1)))
+	return b
+}
+
+// Load returns the current bound.
+func (b *MinBound) Load() float64 { return math.Float64frombits(b.bits.Load()) }
+
+// Update lowers the bound to v when v is smaller; larger values are ignored.
+func (b *MinBound) Update(v float64) {
+	for {
+		old := b.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
