@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench benchall bench-smoke bench-check vet race fuzz chaos crash check equiv lint degradation topo-equiv serve
+.PHONY: build test bench benchall bench-smoke bench-check vet race fuzz chaos crash check equiv lint degradation topo-equiv serve fleet
 
 # The benchmark set committed to BENCH_mapper.json (and gated by bench-check).
 BENCH_PATTERN = BenchmarkSearchLayer|BenchmarkEngineEvalModelResNet50|BenchmarkServeReferenceTrace|BenchmarkSweep
@@ -77,8 +77,10 @@ topo-equiv:
 serve:
 	$(GO) test -race -count=1 -run 'TestParseTrace|TestWriteTrace|TestReferenceTrace|TestSimulate|TestConfigValidate|TestSingleRequestLatencyEqualsEvalModel|TestBuildOracle|TestServeReport' ./internal/serve
 
+# -shuffle=on randomizes test and subtest order each run, so inter-test
+# state dependencies surface in CI instead of in production.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # fuzz is a short smoke run of the parser fuzzers — long enough to re-find
 # the historical zero-stride crashers, short enough for CI. Covers the
@@ -102,6 +104,15 @@ chaos:
 crash:
 	$(GO) test -race -count=1 -run 'TestChaosShardedWorkerKillReclaimMerge|TestShardedExplore|TestJournalCrashTruncationSweep|TestJournalBufferedCrashTruncationSweep|TestMergeFiles|TestDiskCache' \
 		./internal/dse ./internal/ckpt ./internal/engine
+
+# fleet is the coordinator crash-recovery gate: the fleet control-service
+# suite plus the fleetd SIGKILL chaos test (kill the coordinator mid-study,
+# restart it, the study completes with merged bytes identical to a
+# single-process run, and SIGTERM drains to a clean exit), under the race
+# detector.
+fleet:
+	$(GO) test -race -count=1 ./internal/fleet
+	$(GO) test -race -count=1 -run 'TestChaosFleetd' ./cmd/nnbaton-fleetd
 
 # check is the pre-merge gate: static analysis, the full suite under the
 # race detector (the engine is concurrent; plain `go test` won't catch

@@ -11,12 +11,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"syscall"
 	"time"
 
 	"nnbaton"
@@ -150,12 +152,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nnbaton-dse:", err)
 		os.Exit(2)
 	}
-	// Sweeps can run for minutes; Ctrl-C cancels the evaluation engine's
-	// workers cleanly instead of killing the process mid-write.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Sweeps can run for minutes; Ctrl-C or a supervisor's SIGTERM cancels
+	// the evaluation engine's workers cleanly instead of killing the process
+	// mid-write: the checkpoint journal flushes (deferred Close), shard
+	// leases release, and the exit code says the sweep did not finish.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, o); err != nil {
-		fmt.Fprintln(os.Stderr, "nnbaton-dse:", err)
+		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			fmt.Fprintln(os.Stderr, "nnbaton-dse: interrupted; journaled points are durable, resume with -resume")
+		} else {
+			fmt.Fprintln(os.Stderr, "nnbaton-dse:", err)
+		}
 		os.Exit(1)
 	}
 }

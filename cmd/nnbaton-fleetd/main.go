@@ -1,0 +1,216 @@
+// Command nnbaton-fleetd is the fleet DSE control service: a coordinator that
+// admits study submissions over HTTP, journals them crash-safely, schedules
+// their shards onto registered workers and serves merged results — plus a
+// worker mode that joins a coordinator and executes assigned studies.
+//
+// Usage:
+//
+//	nnbaton-fleetd -listen :8080 -data /srv/nnbaton            # coordinator
+//	nnbaton-fleetd -worker http://host:8080 -data /srv/nnbaton # worker
+//	nnbaton-fleetd -listen :8080 -data /srv/nnbaton -local-workers 2
+//
+// The -data directory is the shared data plane: the study journal, per-study
+// worker journals and lease files, and the persistent result cache all live
+// under it. Coordinator and workers must see the same directory.
+//
+// SIGTERM/SIGINT drain the coordinator: admission stops (submissions answer
+// 429), in-flight shards finish or checkpoint out, journals flush, and the
+// process exits 0. A SIGKILLed coordinator recovers on restart by replaying
+// its study journal.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"nnbaton/internal/fleet"
+	"nnbaton/internal/obs"
+)
+
+type options struct {
+	listen       string
+	data         string
+	worker       string
+	name         string
+	localWorkers int
+	queueLimit   int
+	concurrent   int
+	retryLimit   int
+	workerTTL    time.Duration
+	leaseTTL     time.Duration
+	deadline     time.Duration
+	drainWait    time.Duration
+	engineWork   int
+	noFsync      bool
+	addrFile     string
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.listen, "listen", "", "coordinator mode: serve the fleet API on this address (e.g. :8080)")
+	flag.StringVar(&o.data, "data", "", "shared data directory (study journal, leases, worker journals, result cache)")
+	flag.StringVar(&o.worker, "worker", "", "worker mode: join the coordinator at this base URL (e.g. http://host:8080)")
+	flag.StringVar(&o.name, "name", fmt.Sprintf("w-%d", os.Getpid()), "worker identity (names this worker's journals and leases)")
+	flag.IntVar(&o.localWorkers, "local-workers", 0, "coordinator mode: also run N in-process workers (single-box fleet)")
+	flag.IntVar(&o.queueLimit, "queue-limit", 0, "bound on queued studies; a full queue rejects submissions with 429 (0 = default)")
+	flag.IntVar(&o.concurrent, "max-concurrent", 0, "bound on simultaneously running studies (0 = default)")
+	flag.IntVar(&o.retryLimit, "retry-limit", 0, "failures before a study is quarantined (0 = default)")
+	flag.DurationVar(&o.workerTTL, "worker-ttl", 0, "expire a worker after this long without a heartbeat (0 = default)")
+	flag.DurationVar(&o.leaseTTL, "lease-ttl", 0, "shard lease time-to-live handed to workers (0 = default)")
+	flag.DurationVar(&o.deadline, "default-deadline", 0, "deadline for studies that submit none (0 = no deadline)")
+	flag.DurationVar(&o.drainWait, "drain-wait", 30*time.Second, "on SIGTERM, wait at most this long for in-flight shards to checkpoint out")
+	flag.IntVar(&o.engineWork, "engine-workers", 0, "worker mode: evaluation engine concurrency per task (0 = GOMAXPROCS)")
+	flag.BoolVar(&o.noFsync, "no-fsync", false, "skip fsync on study-journal records (faster, loses OS-crash durability)")
+	flag.StringVar(&o.addrFile, "addr-file", "", "coordinator mode: write the bound listen address to this file once serving")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "nnbaton-fleetd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options) error {
+	if o.data == "" {
+		return fmt.Errorf("-data is required")
+	}
+	switch {
+	case o.listen != "" && o.worker != "":
+		return fmt.Errorf("-listen and -worker are mutually exclusive")
+	case o.listen != "":
+		return serve(o)
+	case o.worker != "":
+		return workerMain(o)
+	}
+	return fmt.Errorf("need -listen (coordinator) or -worker <url> (worker)")
+}
+
+// serve runs the coordinator until SIGTERM/SIGINT, then drains: stop
+// admitting, let in-flight shards finish or checkpoint, flush journals, exit.
+func serve(o options) error {
+	reg := obs.NewRegistry()
+	coord, err := fleet.Open(fleet.Options{
+		DataDir:         o.data,
+		QueueLimit:      o.queueLimit,
+		MaxConcurrent:   o.concurrent,
+		RetryLimit:      o.retryLimit,
+		WorkerTTL:       o.workerTTL,
+		LeaseTTL:        o.leaseTTL,
+		DefaultDeadline: o.deadline,
+		NoFsync:         o.noFsync,
+		Registry:        reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		coord.Close()
+		return err
+	}
+	if o.addrFile != "" {
+		// temp+rename so a watcher never reads a half-written address.
+		tmp := o.addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+			coord.Close()
+			return err
+		}
+		if err := os.Rename(tmp, o.addrFile); err != nil {
+			coord.Close()
+			return err
+		}
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "fleetd: serving on %s, data in %s\n", ln.Addr(), o.data)
+
+	// Single-box fleets: in-process workers against the loopback API. They
+	// exercise the exact same HTTP protocol as remote workers.
+	var wg sync.WaitGroup
+	workerCtx, stopWorkers := context.WithCancel(context.Background())
+	defer stopWorkers()
+	base := "http://" + ln.Addr().String()
+	for i := 0; i < o.localWorkers; i++ {
+		w, err := fleet.NewWorker(fleet.WorkerOptions{
+			Coordinator:   base,
+			Name:          fmt.Sprintf("%s-l%d", o.name, i),
+			EngineWorkers: o.engineWork,
+			Log:           os.Stderr,
+		})
+		if err != nil {
+			coord.Close()
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(workerCtx); err != nil && !errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "fleetd: local worker:", err)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		coord.Close()
+		return fmt.Errorf("fleetd: serve: %w", err)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "fleetd: %v: draining (waiting up to %v for in-flight shards)\n", s, o.drainWait)
+	}
+	signal.Stop(sig)
+
+	// Drain order matters: mark draining first (admission answers 429, task
+	// polls and heartbeats tell workers to stop), wait for workers to
+	// checkpoint out, then stop serving and close the journal.
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainWait)
+	defer cancel()
+	drainErr := coord.Drain(drainCtx)
+	stopWorkers()
+	wg.Wait()
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	srv.Shutdown(shutCtx) //nolint:errcheck — draining already bounded the wait
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	fmt.Fprintln(os.Stderr, "fleetd: drained cleanly")
+	return nil
+}
+
+// workerMain runs one remote worker until SIGTERM/SIGINT or a coordinator
+// drain. A drain is a clean exit (0); a signal cancels the in-flight task
+// (its journaled records are durable, its leases expire for peers to reclaim)
+// and exits non-zero.
+func workerMain(o options) error {
+	w, err := fleet.NewWorker(fleet.WorkerOptions{
+		Coordinator:   o.worker,
+		Name:          o.name,
+		EngineWorkers: o.engineWork,
+		Log:           os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := w.Run(ctx); err != nil {
+		if errors.Is(err, context.Canceled) {
+			return fmt.Errorf("interrupted; journaled shard work is durable and reclaimable")
+		}
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,301 @@
+package main
+
+// Coordinator crash-recovery chaos test, extending the shard-worker SIGKILL
+// pattern of internal/dse: a real fleetd process (coordinator plus one local
+// worker) is SIGKILLed mid-study; a restarted fleetd replays its study
+// journal, re-queues the interrupted study, re-binds to the surviving lease
+// and checkpoint state and completes it — and the merged result it serves
+// must be byte-identical to an uninterrupted single-process run. A final
+// SIGTERM proves graceful drain: exit 0 with journals flushed.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"nnbaton/internal/ckpt"
+	"nnbaton/internal/dse"
+	"nnbaton/internal/engine"
+	"nnbaton/internal/faults"
+	"nnbaton/internal/fleet"
+	"nnbaton/internal/hardware"
+	"nnbaton/internal/workload"
+)
+
+const fleetdEnv = "NNBATON_FLEETD"
+
+// Tiny study fixtures, mirroring the dse test suite: 3 compute
+// configurations at a 512-MAC budget, seconds of work at most.
+func tinySpace() dse.Space {
+	return dse.Space{
+		Vector:     []int{8},
+		Lanes:      []int{8},
+		Cores:      []int{2, 4, 8},
+		Chiplets:   []int{1, 2, 4},
+		OL1PerLane: []int{96, 144},
+		AL1:        []int{1024, 4096},
+		WL1:        []int{8192, 32768},
+		AL2:        []int{32768, 65536},
+	}
+}
+
+func tinySpec() fleet.StudySpec {
+	sp := tinySpace()
+	return fleet.StudySpec{
+		Model: "tiny", Res: 32,
+		Layers: []workload.Layer{
+			{Model: "tiny", Name: "conv1", HO: 32, WO: 32, CO: 32, CI: 16,
+				R: 3, S: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+			{Model: "tiny", Name: "conv2", HO: 16, WO: 16, CO: 64, CI: 32,
+				R: 3, S: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1},
+		},
+		MACs: 512, AreaMM2: 3.0, Space: &sp, Shards: 2,
+	}
+}
+
+// referenceBytes is the canonical merged journal of the uninterrupted
+// single-process study.
+func referenceBytes(t *testing.T, dir string) []byte {
+	t.Helper()
+	path := filepath.Join(dir, "single.jsonl")
+	j, err := ckpt.OpenWith(path, ckpt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tinySpec().ResolveModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.NewFromConfig(hardware.MustCostModel(), engine.Config{Journal: j})
+	if _, err := dse.Explore(context.Background(), m, tinySpace(), 512, 3.0, eng); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	var buf bytes.Buffer
+	if _, err := ckpt.MergeFiles(&buf, path); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFleetdHelper is the subprocess body: a real fleetd (coordinator + one
+// local worker), optionally with slowed evaluation so the parent can SIGKILL
+// it mid-study. Only runs when re-executed with the helper environment set.
+func TestFleetdHelper(t *testing.T) {
+	if os.Getenv(fleetdEnv) == "" {
+		t.Skip("subprocess helper, driven by TestChaosFleetdKillRecoverMerge")
+	}
+	if d := os.Getenv("NNBATON_FLEETD_DELAY"); d != "" && d != "0" {
+		delay, err := time.ParseDuration(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faults.Set(faults.NewInjector(faults.Rule{Site: "dse.explore_compute",
+			Kind: faults.KindDelay, Delay: delay}))
+		defer faults.Clear()
+	}
+	leaseTTL, err := time.ParseDuration(os.Getenv("NNBATON_FLEETD_LEASETTL"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = run(options{
+		listen:       "127.0.0.1:0",
+		data:         os.Getenv("NNBATON_FLEETD_DATA"),
+		name:         os.Getenv("NNBATON_FLEETD_NAME"),
+		localWorkers: 1,
+		engineWork:   1,
+		leaseTTL:     leaseTTL,
+		workerTTL:    5 * time.Second,
+		drainWait:    30 * time.Second,
+		addrFile:     os.Getenv("NNBATON_FLEETD_ADDRFILE"),
+	})
+	if err != nil {
+		t.Fatalf("fleetd: %v", err)
+	}
+}
+
+// spawnFleetd starts one fleetd as a real subprocess and returns it with its
+// combined output buffer.
+func spawnFleetd(t *testing.T, data, addrFile, delay string) (*exec.Cmd, *bytes.Buffer) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "TestFleetdHelper$", "-test.v")
+	out := new(bytes.Buffer)
+	cmd.Stdout, cmd.Stderr = out, out
+	cmd.Env = append(os.Environ(),
+		fleetdEnv+"=1",
+		"NNBATON_FLEETD_DATA="+data,
+		"NNBATON_FLEETD_ADDRFILE="+addrFile,
+		"NNBATON_FLEETD_DELAY="+delay,
+		"NNBATON_FLEETD_LEASETTL=750ms",
+		"NNBATON_FLEETD_NAME=chaos",
+	)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd, out
+}
+
+// waitAddr polls for the coordinator's addr-file and returns its base URL.
+func waitAddr(t *testing.T, path string, out *bytes.Buffer) string {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b, err := os.ReadFile(path); err == nil && len(b) > 0 {
+			return "http://" + string(b)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleetd never wrote %s; output:\n%s", path, out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// journaledExplores counts completed compute-configuration records in a
+// journal, tolerating a missing file.
+func journaledExplores(path string) int {
+	seen, _, err := ckpt.Load(path)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for key := range seen {
+		if strings.HasPrefix(key, "explore|") {
+			n++
+		}
+	}
+	return n
+}
+
+// TestChaosFleetdKillRecoverMerge is the coordinator-death acceptance test:
+// SIGKILL fleetd mid-study, restart it over the same data directory, and the
+// study must complete with merged bytes identical to the single-process run;
+// a closing SIGTERM must drain and exit 0.
+func TestChaosFleetdKillRecoverMerge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills subprocesses")
+	}
+	dir := t.TempDir()
+	want := referenceBytes(t, dir)
+	data := filepath.Join(dir, "data")
+
+	// Life 1: slow evaluation (300ms per compute configuration) so the kill
+	// lands mid-study, deterministically after the first durable record.
+	victim, victimOut := spawnFleetd(t, data, filepath.Join(dir, "addr1"), "300ms")
+	base := waitAddr(t, filepath.Join(dir, "addr1"), victimOut)
+
+	body, err := json.Marshal(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/studies", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, raw)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(raw, &sub); err != nil || sub.ID == "" {
+		t.Fatalf("submit response %q: %v", raw, err)
+	}
+
+	// SIGKILL as soon as the worker's journal holds its first record: the
+	// study is provably mid-flight and the coordinator gets no chance to
+	// clean up anything.
+	workerJournal := filepath.Join(data, "studies", sub.ID, "worker-chaos-l0.jsonl")
+	deadline := time.Now().Add(30 * time.Second)
+	for journaledExplores(workerJournal) == 0 {
+		if time.Now().After(deadline) {
+			victim.Process.Kill()
+			victim.Wait()
+			t.Fatalf("no journal record in 30s; output:\n%s", victimOut)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	killedAt := journaledExplores(workerJournal)
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	victim.Wait() //nolint:errcheck — killed on purpose
+	total := len(tinySpace().ComputeConfigs(512))
+	if killedAt >= total {
+		t.Skipf("study finished all %d configurations before the kill landed", total)
+	}
+
+	// Life 2: same data directory, full speed. Replay must re-queue the
+	// study; the worker resumes its own journal and reclaims the dead
+	// instance's shard lease after its TTL.
+	heir, heirOut := spawnFleetd(t, data, filepath.Join(dir, "addr2"), "0")
+	base = waitAddr(t, filepath.Join(dir, "addr2"), heirOut)
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/studies/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State  string `json:"state"`
+			Reason string `json:"reason"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "done" {
+			break
+		}
+		if st.State != "queued" && st.State != "running" {
+			t.Fatalf("recovered study is %s (%s); output:\n%s", st.State, st.Reason, heirOut)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("study still %s after 60s; output:\n%s", st.State, heirOut)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	resp, err = http.Get(base + "/v1/studies/" + sub.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result = %d: %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("recovered fleet result differs from the single-process journal:\n%s\nvs\n%s", got, want)
+	}
+
+	// Graceful drain: SIGTERM must exit 0 with everything flushed.
+	if err := heir.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- heir.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("fleetd exit after SIGTERM = %v, want 0; output:\n%s", err, heirOut)
+		}
+	case <-time.After(30 * time.Second):
+		heir.Process.Kill()
+		t.Fatalf("fleetd did not exit within 30s of SIGTERM; output:\n%s", heirOut)
+	}
+	if !strings.Contains(heirOut.String(), "drained cleanly") {
+		t.Errorf("fleetd output lacks the clean-drain line:\n%s", heirOut)
+	}
+}

@@ -202,6 +202,24 @@ func (j *Journal) Len() int {
 	return len(j.seen)
 }
 
+// Keys returns the journal's distinct keys in sorted order (loaded plus
+// appended) — the replay surface of journal-backed state machines like the
+// fleet coordinator, which rebuilds its study table from the records on
+// restart. Nil-safe.
+func (j *Journal) Keys() []string {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	keys := make([]string, 0, len(j.seen))
+	for k := range j.seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // Appended returns how many records this process wrote. Nil-safe.
 func (j *Journal) Appended() int {
 	if j == nil {

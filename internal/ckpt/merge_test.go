@@ -221,3 +221,56 @@ func TestValidateWritable(t *testing.T) {
 		t.Error("missing parent accepted")
 	}
 }
+
+// TestMergeFilesToleratesTornTail merges a healthy shard journal with one
+// whose final record was torn by a crash mid-append: the torn line is counted
+// and skipped, every whole record survives, and the output is byte-identical
+// to merging the same records from intact journals — the coordinator's merge
+// step must not choke on the journal of a worker that died writing.
+func TestMergeFilesToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	healthy := filepath.Join(dir, "healthy.jsonl")
+	torn := filepath.Join(dir, "torn.jsonl")
+	intact := filepath.Join(dir, "intact.jsonl")
+	writeJournal(t, healthy, false,
+		[2]string{MetaPrefix + "study", "study-sig"},
+		[2]string{"sweep|p0", "v0"}, [2]string{"sweep|p1", "v1"})
+	writeJournal(t, torn, false,
+		[2]string{MetaPrefix + "study", "study-sig"},
+		[2]string{"sweep|p2", "v2"}, [2]string{"sweep|p3", "v3"})
+	writeJournal(t, intact, false,
+		[2]string{MetaPrefix + "study", "study-sig"},
+		[2]string{"sweep|p2", "v2"})
+
+	// Tear the last record of the torn journal at every byte offset,
+	// including cutting into its trailing newline.
+	data := mustRead(t, torn)
+	lastStart := bytes.Index(data, []byte(`{"key":"sweep|p3"`))
+	if lastStart <= 0 {
+		t.Fatalf("cannot locate last record in %q", data)
+	}
+	var wantOut bytes.Buffer
+	if _, err := MergeFiles(&wantOut, healthy, intact); err != nil {
+		t.Fatal(err)
+	}
+	for cut := lastStart; cut < len(data); cut++ {
+		if err := os.WriteFile(torn, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		st, err := MergeFiles(&out, healthy, torn)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		wantTorn := 0
+		if cut > lastStart {
+			wantTorn = 1
+		}
+		if st.Torn != wantTorn || st.Records != 3 {
+			t.Fatalf("cut %d: stats = %+v, want torn=%d records=3", cut, st, wantTorn)
+		}
+		if !bytes.Equal(out.Bytes(), wantOut.Bytes()) {
+			t.Fatalf("cut %d: torn-tail merge diverges:\n%s\nvs\n%s", cut, &out, &wantOut)
+		}
+	}
+}

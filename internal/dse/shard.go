@@ -71,6 +71,9 @@ type ShardedResult struct {
 	// expired and another worker took over) — their partial journal records
 	// remain valid and merge cleanly.
 	Abandoned int
+	// Reclaimed counts shards this worker acquired by taking over a dead
+	// peer's expired lease rather than a fresh claim.
+	Reclaimed int
 }
 
 // RunShardedExplore is one worker's loop over a sharded exploration: claim a
@@ -99,6 +102,7 @@ func RunShardedExplore(ctx context.Context, model workload.Model, space Space, t
 
 	for {
 		shard, err := mgr.TryClaim(ctx, len(ranges))
+		res.Reclaimed = mgr.Takeovers()
 		if errors.Is(err, lease.ErrAllDone) {
 			return res, nil
 		}
@@ -128,7 +132,10 @@ func RunShardedExplore(ctx context.Context, model workload.Model, space Space, t
 		hbDone := make(chan struct{})
 		go func() {
 			defer close(hbDone)
-			t := time.NewTicker(heartbeatEvery(mgr.TTL()))
+			// Each renewal delay is independently jittered (±10%) so a fleet
+			// of workers heartbeating the same TTL never phase-locks.
+			period := heartbeatEvery(mgr.TTL())
+			t := time.NewTimer(mgr.Jitter(period))
 			defer t.Stop()
 			for {
 				select {
@@ -138,6 +145,7 @@ func RunShardedExplore(ctx context.Context, model workload.Model, space Space, t
 						cancelShard()
 						return
 					}
+					t.Reset(mgr.Jitter(period))
 				case <-hbStop:
 					return
 				case <-shardCtx.Done():

@@ -1,0 +1,137 @@
+package fleet
+
+// The study journal: a ckpt.Journal (append-only keyed JSONL, single-write
+// records, opt-out fsync) holding one admission record and one last-writer-
+// wins state record per study. The coordinator's entire durable state is
+// this journal plus the per-study directories (worker checkpoint journals,
+// lease files, merged results); everything else is rebuilt on restart by
+// replaying the journal keys.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"nnbaton/internal/ckpt"
+)
+
+// State is a study's lifecycle position.
+type State string
+
+// Study lifecycle: Queued → Running → Done, with Failed (deadline or fatal
+// error), Cancelled (operator request) and Quarantined (circuit breaker)
+// as the other terminal states. A Running study whose coordinator dies is
+// re-admitted as Queued on replay — its shard leases and checkpoint
+// journals survive on disk, so re-running it replays completed work.
+const (
+	StateQueued      State = "queued"
+	StateRunning     State = "running"
+	StateDone        State = "done"
+	StateFailed      State = "failed"
+	StateCancelled   State = "cancelled"
+	StateQuarantined State = "quarantined"
+)
+
+// Terminal reports whether a study in this state will never run again.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCancelled, StateQuarantined:
+		return true
+	}
+	return false
+}
+
+// admissionRecord is the journal value of one study's admission.
+type admissionRecord struct {
+	Spec     StudySpec `json:"spec"`
+	Admitted time.Time `json:"admitted"`
+}
+
+// stateRecord is the journal value of one study's latest state transition
+// (later records for the key win, exactly the ckpt replay semantics).
+type stateRecord struct {
+	State    State  `json:"state"`
+	Reason   string `json:"reason,omitempty"`
+	Failures int    `json:"failures,omitempty"`
+}
+
+const (
+	specSuffix  = "|spec"
+	stateSuffix = "|state"
+	studyPrefix = "study|"
+)
+
+func specKey(id string) string  { return studyPrefix + id + specSuffix }
+func stateKey(id string) string { return studyPrefix + id + stateSuffix }
+
+// studyID renders admission sequence numbers as sortable fixed-width IDs, so
+// admission order is ID order everywhere (queue scans, listings, replay).
+func studyID(n int) string { return fmt.Sprintf("s%06d", n) }
+
+// studySeq parses a studyID back to its sequence number.
+func studySeq(id string) (int, bool) {
+	if !strings.HasPrefix(id, "s") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "s"))
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// replayStudies rebuilds the study table from a resumed journal: every
+// study|<id>|spec record becomes a study, its latest state record decides
+// where it resumes. Non-terminal studies come back Queued — a Running study
+// interrupted by a coordinator crash must be re-scheduled, and its on-disk
+// shard state (done markers, checkpoint journals) makes the re-run cheap and
+// byte-identical. Returns the rebuilt table and the next admission sequence.
+func replayStudies(jrn *ckpt.Journal) (map[string]*study, int, error) {
+	studies := make(map[string]*study)
+	nextSeq := 0
+	for _, key := range jrn.Keys() {
+		if !strings.HasPrefix(key, studyPrefix) || !strings.HasSuffix(key, specSuffix) {
+			continue
+		}
+		id := strings.TrimSuffix(strings.TrimPrefix(key, studyPrefix), specSuffix)
+		seq, ok := studySeq(id)
+		if !ok {
+			return nil, 0, fmt.Errorf("fleet: journal has malformed study key %q", key)
+		}
+		raw, _ := jrn.Lookup(key)
+		var adm admissionRecord
+		if err := json.Unmarshal(raw, &adm); err != nil {
+			return nil, 0, fmt.Errorf("fleet: journal admission record %s: %w", id, err)
+		}
+		st := &study{
+			id:       id,
+			spec:     adm.Spec,
+			admitted: adm.Admitted,
+			state:    StateQueued,
+		}
+		if raw, ok := jrn.Lookup(stateKey(id)); ok {
+			var rec stateRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return nil, 0, fmt.Errorf("fleet: journal state record %s: %w", id, err)
+			}
+			st.state, st.reason, st.failures = rec.State, rec.Reason, rec.Failures
+		}
+		if !st.state.Terminal() {
+			// Queued or Running at the time of the crash/drain: resume from
+			// the queue. The lease directory still holds the done markers of
+			// completed shards and the worker journals hold their records, so
+			// the re-run replays instead of re-evaluating.
+			if st.state == StateRunning {
+				st.reason = "recovered after coordinator restart"
+			}
+			st.state = StateQueued
+		}
+		studies[id] = st
+		if seq >= nextSeq {
+			nextSeq = seq + 1
+		}
+	}
+	return studies, nextSeq, nil
+}

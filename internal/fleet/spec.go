@@ -1,0 +1,140 @@
+// Package fleet is the long-lived DSE control service layered on the sharded
+// sweep substrate: an HTTP coordinator that admits study submissions (space +
+// model + objective as JSON), persists them to a crash-safe study journal
+// (internal/ckpt record framing), schedules shard evaluation onto registered
+// workers through the internal/lease files of each study, and serves merged
+// progress and results.
+//
+// Robustness is the design center, not a garnish:
+//
+//   - Admission is bounded: a full queue answers 429 with Retry-After, and a
+//     draining coordinator admits nothing.
+//   - Worker liveness is heartbeat-based; a dead worker's shard leases expire
+//     and surviving workers reclaim them (lease takeover), which the
+//     coordinator surfaces as reclaim counters.
+//   - Studies carry deadlines and can be cancelled; a study whose shard
+//     execution fails repeatedly is quarantined with a recorded reason after
+//     bounded retries with doubling backoff — never retried forever.
+//   - The coordinator survives its own death: every admission and state
+//     transition appends to a fsynced ckpt journal, so a restarted
+//     coordinator replays the journal, re-binds to the surviving lease and
+//     checkpoint state on disk, and resumes every incomplete study with
+//     byte-identical merged output.
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"nnbaton/internal/dse"
+	"nnbaton/internal/workload"
+)
+
+// StudySpec is one study submission: the model under study, the exploration
+// space, and the objective (MAC budget, area constraint) — the full identity
+// of a dse.Explore run, plus fleet scheduling parameters.
+type StudySpec struct {
+	// Model names a zoo model (workload.Load) — or labels Layers when an
+	// inline model is submitted.
+	Model string `json:"model"`
+	// Res is the input resolution passed to workload.Load.
+	Res int `json:"res,omitempty"`
+	// Layers optionally inlines the model's layer list; non-empty, the zoo
+	// is not consulted and Model is just the study's display name.
+	Layers []workload.Layer `json:"layers,omitempty"`
+
+	// MACs is the total MAC budget the compute allocations must reach.
+	MACs int `json:"macs"`
+	// AreaMM2 is the chiplet area constraint in mm² (0 = unconstrained).
+	AreaMM2 float64 `json:"area_mm2,omitempty"`
+	// Space is the exploration space; nil uses the paper's Table II space.
+	Space *dse.Space `json:"space,omitempty"`
+
+	// Shards is how many lease-arbitrated shards the compute-configuration
+	// range is cut into (0 = 1).
+	Shards int `json:"shards,omitempty"`
+	// DeadlineSec bounds the study's total lifetime from admission, queue
+	// wait included; past it the study fails. 0 uses the coordinator's
+	// default (which may be no deadline).
+	DeadlineSec float64 `json:"deadline_sec,omitempty"`
+}
+
+// space returns the effective exploration space.
+func (s StudySpec) space() dse.Space {
+	if s.Space != nil {
+		return *s.Space
+	}
+	return dse.TableII()
+}
+
+// shards returns the effective shard count.
+func (s StudySpec) shards() int {
+	if s.Shards <= 0 {
+		return 1
+	}
+	return s.Shards
+}
+
+// deadline returns the study's effective lifetime bound, falling back to the
+// coordinator default; 0 means no deadline.
+func (s StudySpec) deadline(def time.Duration) time.Duration {
+	if s.DeadlineSec > 0 {
+		return time.Duration(s.DeadlineSec * float64(time.Second))
+	}
+	return def
+}
+
+// ResolveModel materializes the model under study: the inline layer list
+// when present, the zoo otherwise.
+func (s StudySpec) ResolveModel() (workload.Model, error) {
+	if len(s.Layers) > 0 {
+		name := s.Model
+		if name == "" {
+			name = "inline"
+		}
+		return workload.Model{Name: name, Resolution: s.Res, Layers: s.Layers}, nil
+	}
+	return workload.Load(s.Model, s.Res)
+}
+
+// Validate rejects a submission the fleet could never complete, so admission
+// fails with 400 instead of burning a worker on a doomed study.
+func (s StudySpec) Validate() error {
+	if s.Model == "" && len(s.Layers) == 0 {
+		return fmt.Errorf("fleet: study needs a model name or inline layers")
+	}
+	if s.MACs <= 0 {
+		return fmt.Errorf("fleet: MAC budget must be positive, got %d", s.MACs)
+	}
+	if s.AreaMM2 < 0 {
+		return fmt.Errorf("fleet: area constraint must be non-negative, got %g", s.AreaMM2)
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("fleet: shard count must be non-negative, got %d", s.Shards)
+	}
+	if s.DeadlineSec < 0 {
+		return fmt.Errorf("fleet: deadline must be non-negative, got %g", s.DeadlineSec)
+	}
+	sp := s.space()
+	if err := sp.Topology.Validate(); err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	if len(sp.ComputeConfigs(s.MACs)) == 0 {
+		return fmt.Errorf("fleet: no compute allocation in the space reaches %d MACs", s.MACs)
+	}
+	if _, err := s.ResolveModel(); err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	return nil
+}
+
+// Signature is the study signature every worker of this study must agree on:
+// it binds the study's lease directory and shard journals (ckpt.MergeFiles
+// refuses to fold journals of disagreeing studies).
+func (s StudySpec) Signature() (string, error) {
+	m, err := s.ResolveModel()
+	if err != nil {
+		return "", err
+	}
+	return dse.StudySignature(m, s.space(), s.MACs, s.AreaMM2, s.shards()), nil
+}

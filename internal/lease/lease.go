@@ -60,6 +60,11 @@ type Options struct {
 	// Backoff is the delay between claim sweeps, doubling per retry.
 	// <= 0 uses DefaultBackoff.
 	Backoff time.Duration
+	// Now overrides the wall clock; nil uses time.Now. The hook exists so
+	// tests can inject skewed clocks — lease expiry compares a deadline
+	// written by the claimant's clock against the heir's clock, and the
+	// takeover protocol must stay exactly-one-winner under that skew.
+	Now func() time.Time
 }
 
 // Defaults for Options.
@@ -81,6 +86,9 @@ type Manager struct {
 	// nonce identifies this Manager's live lease on the claimed shard.
 	nonce int64
 	shard int
+	// takeovers counts expired or torn leases this Manager won by rename —
+	// shards reclaimed from dead peers rather than freshly claimed.
+	takeovers int
 }
 
 // New builds a Manager over a shared lease directory. study is the study
@@ -100,6 +108,9 @@ func New(dir, study, owner string, opts Options) (*Manager, error) {
 	if opts.Backoff <= 0 {
 		opts.Backoff = DefaultBackoff
 	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
 	seed := time.Now().UnixNano() ^ int64(os.Getpid())<<32
 	return &Manager{
 		dir: dir, study: study, owner: owner, opts: opts,
@@ -107,12 +118,29 @@ func New(dir, study, owner string, opts Options) (*Manager, error) {
 	}, nil
 }
 
+// now reads the Manager's clock (the real one unless Options.Now injected a
+// skewed test clock).
+func (m *Manager) now() time.Time { return m.opts.Now() }
+
+// Jitter spreads d by ±10% using the Manager's private randomness. Heartbeat
+// periods and takeover retry delays go through it so a fleet of hot-standby
+// workers watching the same expired lease spreads out instead of stampeding
+// the takeover rename at the same instant.
+func (m *Manager) Jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) * (0.9 + 0.2*m.rng.Float64()))
+}
+
 func (m *Manager) leasePath(shard int) string {
 	return filepath.Join(m.dir, fmt.Sprintf("shard-%04d.lease", shard))
 }
 
-func (m *Manager) donePath(shard int) string {
-	return filepath.Join(m.dir, fmt.Sprintf("shard-%04d.done", shard))
+func (m *Manager) donePath(shard int) string { return donePathIn(m.dir, shard) }
+
+func donePathIn(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.done", shard))
 }
 
 // Done reports whether a shard has been completed (by anyone).
@@ -171,7 +199,7 @@ func (m *Manager) fresh(shard int) lease {
 	m.nonce = m.rng.Int63()
 	return lease{
 		Study: m.study, Shard: shard, Owner: m.owner, Nonce: m.nonce,
-		Deadline: time.Now().Add(m.opts.TTL).UnixNano(),
+		Deadline: m.now().Add(m.opts.TTL).UnixNano(),
 	}
 }
 
@@ -209,7 +237,7 @@ func (m *Manager) tryClaimOne(shard int) (bool, error) {
 			return false, fmt.Errorf("lease: shard %d is leased for study %q, not %q — directory shared across sweeps",
 				shard, cur.Study, m.study)
 		}
-		if time.Now().UnixNano() < cur.Deadline {
+		if m.now().UnixNano() < cur.Deadline {
 			return false, nil // live lease: someone else is on it
 		}
 	}
@@ -228,6 +256,7 @@ func (m *Manager) tryClaimOne(shard int) (bool, error) {
 		return false, nil
 	}
 	m.shard = shard
+	m.takeovers++
 	return true, nil
 }
 
@@ -259,7 +288,7 @@ func (m *Manager) TryClaim(ctx context.Context, shards int) (int, error) {
 		if attempt >= m.opts.Retries {
 			return -1, ErrContended
 		}
-		t := time.NewTimer(backoff)
+		t := time.NewTimer(m.Jitter(backoff))
 		select {
 		case <-t.C:
 		case <-ctx.Done():
@@ -284,7 +313,7 @@ func (m *Manager) Heartbeat() error {
 	if !ok || cur.Nonce != m.nonce {
 		return fmt.Errorf("lease: shard %d was taken over (lease lost)", m.shard)
 	}
-	cur.Deadline = time.Now().Add(m.opts.TTL).UnixNano()
+	cur.Deadline = m.now().Add(m.opts.TTL).UnixNano()
 	won, err := m.write(path, cur)
 	if err != nil {
 		return err
@@ -350,6 +379,24 @@ func (m *Manager) Release() {
 
 // Shard returns the currently held shard index, or -1.
 func (m *Manager) Shard() int { return m.shard }
+
+// Takeovers returns how many shards this Manager acquired by taking over an
+// expired or torn lease — the reclaimed-from-dead-peers count surfaced by
+// fleet observability.
+func (m *Manager) Takeovers() int { return m.takeovers }
+
+// DoneCount reports how many of the study's shards carry done markers in a
+// lease directory — the coordinator's progress view, needing no Manager and
+// no claims. A missing directory counts zero.
+func DoneCount(dir string, shards int) int {
+	n := 0
+	for s := 0; s < shards; s++ {
+		if _, err := os.Stat(donePathIn(dir, s)); err == nil {
+			n++
+		}
+	}
+	return n
+}
 
 // TTL returns the effective lease time-to-live (callers derive their
 // heartbeat period from it).

@@ -227,3 +227,76 @@ func TestClaimRespectsContext(t *testing.T) {
 		t.Fatalf("cancelled claim = %v", err)
 	}
 }
+
+// TestClockSkewHeirAhead injects skewed clocks through the Options.Now hook:
+// the heir's clock runs ahead of the claimant's, so a lease the claimant
+// believes is fresh looks expired to the heir. The takeover must still be
+// safe — the heir wins through the rename + read-back path, and the
+// claimant's next heartbeat fails instead of silently renewing a lost lease.
+func TestClockSkewHeirAhead(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Now()
+	claimant := mgr(t, dir, "claimant", Options{TTL: time.Minute,
+		Now: func() time.Time { return base }})
+	if _, err := claimant.TryClaim(bg, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The heir's clock is two minutes ahead: past the claimant's deadline.
+	heir := mgr(t, dir, "heir", Options{TTL: time.Minute,
+		Now: func() time.Time { return base.Add(2 * time.Minute) }})
+	shard, err := heir.TryClaim(bg, 1)
+	if err != nil || shard != 0 {
+		t.Fatalf("skewed takeover = %d, %v, want shard 0", shard, err)
+	}
+	if err := claimant.Heartbeat(); err == nil {
+		t.Error("claimant heartbeat succeeded after a skewed-clock takeover")
+	}
+	if err := heir.Heartbeat(); err != nil {
+		t.Errorf("heir heartbeat: %v", err)
+	}
+}
+
+// TestClockSkewClaimantAhead is the other direction: the claimant's clock is
+// far ahead, so its lease deadline lands deep in the heir's future. The heir
+// must treat the lease as fresh (no takeover, ErrContended) and the claimant
+// keeps renewing undisturbed — skew never manufactures a double owner.
+func TestClockSkewClaimantAhead(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Now()
+	claimant := mgr(t, dir, "claimant", Options{TTL: time.Minute,
+		Now: func() time.Time { return base.Add(time.Hour) }})
+	if _, err := claimant.TryClaim(bg, 1); err != nil {
+		t.Fatal(err)
+	}
+	heir := mgr(t, dir, "heir", Options{TTL: time.Minute, Retries: 2,
+		Backoff: time.Millisecond, Now: func() time.Time { return base }})
+	if _, err := heir.TryClaim(bg, 1); !errors.Is(err, ErrContended) {
+		t.Fatalf("claim against an ahead-clocked owner = %v, want ErrContended", err)
+	}
+	if err := claimant.Heartbeat(); err != nil {
+		t.Errorf("claimant heartbeat under skew: %v", err)
+	}
+}
+
+// TestJitterRange pins the ±10% jitter window on retry and heartbeat
+// intervals: every sample stays within [0.9d, 1.1d], the samples are not all
+// identical (it actually jitters), and non-positive inputs pass through.
+func TestJitterRange(t *testing.T) {
+	m := mgr(t, t.TempDir(), "w", Options{})
+	const d = time.Second
+	lo, hi := 900*time.Millisecond, 1100*time.Millisecond
+	distinct := make(map[time.Duration]bool)
+	for i := 0; i < 200; i++ {
+		j := m.Jitter(d)
+		if j < lo || j > hi {
+			t.Fatalf("Jitter(%v) = %v, outside [%v, %v]", d, j, lo, hi)
+		}
+		distinct[j] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("200 jitter samples were all identical")
+	}
+	if m.Jitter(0) != 0 || m.Jitter(-time.Second) != -time.Second {
+		t.Error("non-positive durations must pass through unjittered")
+	}
+}
